@@ -1,0 +1,38 @@
+//! One Criterion bench per paper figure: each benchmark regenerates that
+//! figure's sweep end-to-end at reduced scale (the `repro` binary runs the
+//! full paper scale). This keeps every figure's regeneration path exercised
+//! and timed by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::SimDuration;
+use experiments::{Campaign, Scale, ALL_FIGURE_IDS};
+
+fn bench_scale() -> Scale {
+    Scale {
+        loads: vec![30, 90],
+        duration: SimDuration::from_secs(6),
+        warmup: SimDuration::from_secs(2),
+        ramp: SimDuration::from_secs(1),
+        seed: 0xBE7C,
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in ALL_FIGURE_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                // A fresh campaign each iteration: the bench measures the
+                // full sweep, not the memo cache.
+                let mut campaign = Campaign::new(bench_scale());
+                let fig = campaign.build(id);
+                std::hint::black_box(fig.series.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

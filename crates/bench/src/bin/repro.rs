@@ -1,0 +1,148 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!   repro all                 # every figure, paper scale
+//!   repro fig1a fig3b         # selected figures
+//!   repro all --quick         # reduced scale (seconds, for CI)
+//!   repro all --json out.json # also dump machine-readable results
+//!   repro all --csv out.csv   # ... or a flat CSV
+//!   repro list                # print the catalog and exit
+//!
+//! Output per figure: the data table (one row per client count, one column
+//! per series) followed by the paper-shape checks.
+
+use experiments::{check_figure, render_checks, Campaign, Scale, ALL_FIGURE_IDS};
+use experiments::catalog::EXTENSION_IDS;
+use experiments::{best_config_table, render_sensitivity, run_sensitivity, BestConfigTable};
+use metrics::Json;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("--json requires a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--csv" => {
+                i += 1;
+                csv_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("--csv requires a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "list" => {
+                println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
+                println!("tables:           table-up table-smp");
+                println!("robustness:       sensitivity");
+                println!("extensions:       {}", EXTENSION_IDS.join(" "));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [all | ext | everything | fig1a ...] [--quick] [--json PATH]");
+                std::process::exit(0);
+            }
+            "all" => ids.extend(ALL_FIGURE_IDS.iter().map(|s| s.to_string())),
+            "ext" => ids.extend(EXTENSION_IDS.iter().map(|s| s.to_string())),
+            "everything" => {
+                ids.extend(ALL_FIGURE_IDS.iter().map(|s| s.to_string()));
+                ids.extend(EXTENSION_IDS.iter().map(|s| s.to_string()));
+                ids.push("table-up".to_string());
+                ids.push("table-smp".to_string());
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [all | ext | everything | fig1a ...] [--quick] [--json PATH]");
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let mut campaign = Campaign::new(scale);
+    let mut json_figs = Vec::new();
+    let mut csv_out = String::new();
+    let mut failures = 0usize;
+    for id in &ids {
+        let start = std::time::Instant::now();
+        if id == "sensitivity" {
+            let rows = run_sensitivity();
+            println!("{}", render_sensitivity(&rows));
+            let flipped = rows.iter().filter(|r| !r.all_hold()).count();
+            if flipped > 0 {
+                eprintln!("{flipped} perturbation(s) flipped a conclusion");
+                failures += flipped;
+            }
+            println!("  ({} perturbations, {:.1}s)\n", rows.len(), start.elapsed().as_secs_f64());
+            continue;
+        }
+        if id == "table-up" || id == "table-smp" {
+            let which = if id == "table-up" {
+                BestConfigTable::Uniprocessor
+            } else {
+                BestConfigTable::Smp
+            };
+            let (_rows, rendered) = best_config_table(&mut campaign, which);
+            println!("{rendered}");
+            continue;
+        }
+        let fig = campaign.build(id);
+        let checks = check_figure(&fig);
+        println!("{}", fig.render());
+        println!("{}", fig.render_chart());
+        if !checks.is_empty() {
+            println!("{}", render_checks(&checks));
+        }
+        println!("  ({} runs, {:.1}s)\n", fig.series.len() * fig.loads.len(), start.elapsed().as_secs_f64());
+        failures += checks.iter().filter(|c| !c.pass).count();
+        if csv_path.is_some() {
+            let block = fig.to_csv();
+            if csv_out.is_empty() {
+                csv_out.push_str(&block);
+            } else {
+                // Skip the repeated header.
+                if let Some(idx) = block.find('\n') {
+                    csv_out.push_str(&block[idx + 1..]);
+                }
+            }
+        }
+        json_figs.push(fig.to_json());
+    }
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("paper", "Beltran et al., ICPP 2004".into()),
+            ("figures", Json::Array(json_figs)),
+        ]);
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(doc.render().as_bytes()).expect("write json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv_out).expect("write csv");
+        println!("wrote {path}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1 @@
+//! Criterion benches and the `repro` figure-regeneration binary live here.

@@ -1,0 +1,14 @@
+//! `clientsim` — the emulated httperf client population.
+//!
+//! * [`client`] — the per-client state machine: sessions, bursts, think
+//!   times, timeouts, resets and refusals, expressed as pure transitions
+//!   returning [`ClientAction`]s for the testbed to execute;
+//! * [`metrics`] — the aggregated measurement block (throughput, response
+//!   and connection time histograms, error series) mirroring httperf's
+//!   summary output.
+
+pub mod client;
+pub mod metrics;
+
+pub use client::{Client, ClientAction, ClientConfig, ClientId, ClientPhase};
+pub use metrics::ClientMetrics;

@@ -1,0 +1,154 @@
+//! Lightweight simulation tracing.
+//!
+//! A bounded ring buffer of timestamped annotations that model code can emit
+//! while debugging, with zero cost when disabled. Traces are plain strings —
+//! this is a debugging aid, not a data channel; measurements belong in the
+//! `metrics` crate.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Severity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    Debug,
+    Info,
+    Warn,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub level: TraceLevel,
+    pub message: String,
+}
+
+/// A bounded in-memory trace sink.
+#[derive(Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    min_level: TraceLevel,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace: every emit is a cheap branch and nothing is stored.
+    pub fn disabled() -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: 0,
+            min_level: TraceLevel::Warn,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace holding at most `capacity` most-recent records at or
+    /// above `min_level`.
+    pub fn bounded(capacity: usize, min_level: TraceLevel) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            min_level,
+            enabled: capacity > 0,
+            dropped: 0,
+        }
+    }
+
+    /// True when records at `level` would be stored.
+    #[inline]
+    pub fn wants(&self, level: TraceLevel) -> bool {
+        self.enabled && level >= self.min_level
+    }
+
+    /// Emit a record. Callers should gate expensive formatting on
+    /// [`Trace::wants`].
+    pub fn emit(&mut self, time: SimTime, level: TraceLevel, message: impl Into<String>) {
+        if !self.wants(level) {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            level,
+            message: message.into(),
+        });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// How many records were evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained records as a multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier records dropped ...", self.dropped);
+        }
+        for r in &self.records {
+            let tag = match r.level {
+                TraceLevel::Debug => "DBG",
+                TraceLevel::Info => "INF",
+                TraceLevel::Warn => "WRN",
+            };
+            let _ = writeln!(out, "[{:>14}] {} {}", format!("{}", r.time), tag, r.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_stores_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, TraceLevel::Warn, "boom");
+        assert_eq!(t.records().count(), 0);
+        assert!(!t.wants(TraceLevel::Warn));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Trace::bounded(10, TraceLevel::Info);
+        t.emit(SimTime::ZERO, TraceLevel::Debug, "quiet");
+        t.emit(SimTime::ZERO, TraceLevel::Info, "kept");
+        t.emit(SimTime::ZERO, TraceLevel::Warn, "kept too");
+        assert_eq!(t.records().count(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::bounded(3, TraceLevel::Debug);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), TraceLevel::Info, format!("r{i}"));
+        }
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["r2", "r3", "r4"]);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.render().contains("2 earlier records dropped"));
+    }
+
+    #[test]
+    fn render_includes_time_and_level() {
+        let mut t = Trace::bounded(4, TraceLevel::Debug);
+        t.emit(SimTime::from_millis(1500), TraceLevel::Warn, "hot");
+        let s = t.render();
+        assert!(s.contains("WRN"), "{s}");
+        assert!(s.contains("1.500s"), "{s}");
+    }
+}

@@ -1,0 +1,23 @@
+//! `experiments` — the per-figure experiment catalog, parallel sweep
+//! runner, and paper-shape checks for the `eventscale` reproduction.
+//!
+//! * [`mod@sweep`] — run many testbed configurations in parallel;
+//! * [`figure`] — figure/series representation, table rendering, JSON;
+//! * [`catalog`] — every figure of the paper mapped to concrete sweeps;
+//! * [`checks`] — who-wins/crossover assertions per figure;
+//! * [`tables`] — the §4.1/§5.1 best-configuration determinations;
+//! * [`sensitivity`] — do the conclusions survive cost perturbations?
+
+pub mod catalog;
+pub mod checks;
+pub mod figure;
+pub mod sensitivity;
+pub mod sweep;
+pub mod tables;
+
+pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
+pub use checks::{check_figure, render_checks, Check};
+pub use figure::{Figure, Metric, Series};
+pub use sensitivity::{render_sensitivity, run_sensitivity, SensitivityRow, PERTURBATIONS};
+pub use sweep::sweep;
+pub use tables::{best_config_table, BestConfigTable, ConfigSummary};

@@ -1,0 +1,343 @@
+//! Multi-processor CPU model with per-lane concurrency caps.
+//!
+//! The SUT's processors are modelled as `num_cpus` identical servers
+//! draining FIFO *lanes* of work items. A lane represents a group of
+//! threads with its own parallelism bound: the event-driven server's worker
+//! pool is a lane capped at its worker-thread count, its acceptor thread a
+//! lane capped at 1, and the threaded server's pool a lane capped at its
+//! (huge) thread count. A job runs when its lane is below its cap **and** a
+//! processor is free; lanes are arbitrated round-robin, which approximates
+//! a fair kernel scheduler at the granularity the model needs.
+//!
+//! The model is non-preemptive, so callers must submit work in short slices
+//! (the server models slice per-request work at syscall granularity);
+//! quantum-level preemption would change nothing observable at those sizes.
+
+use desim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of a lane (thread group) on the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneId(pub usize);
+
+/// Token identifying a running job; returned to the caller when the job is
+/// started so the completion event can carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobToken(pub u64);
+
+/// A job the CPU agreed to start: schedule its completion at `finish_at`
+/// and call [`Cpu::complete`] with the token when it fires.
+#[derive(Debug)]
+pub struct StartedJob<P> {
+    pub token: JobToken,
+    pub finish_at: SimTime,
+    pub payload_preview: std::marker::PhantomData<P>,
+}
+
+#[derive(Debug)]
+struct QueuedJob<P> {
+    service: SimDuration,
+    payload: P,
+    enqueued_at: SimTime,
+}
+
+#[derive(Debug)]
+struct RunningJob<P> {
+    payload: P,
+    lane: usize,
+    queued_for: SimDuration,
+}
+
+#[derive(Debug)]
+struct Lane<P> {
+    cap: usize,
+    running: usize,
+    queue: VecDeque<QueuedJob<P>>,
+}
+
+/// Aggregate CPU counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuStats {
+    pub jobs_completed: u64,
+    /// Total service time executed (for utilisation).
+    pub busy_nanos: u64,
+    /// Total time jobs spent queued before starting.
+    pub queued_nanos: u64,
+    /// High-water mark of total queued jobs.
+    pub peak_queue: usize,
+}
+
+/// The multi-processor, multi-lane CPU.
+#[derive(Debug)]
+pub struct Cpu<P> {
+    num_cpus: usize,
+    lanes: Vec<Lane<P>>,
+    running: std::collections::HashMap<u64, RunningJob<P>>,
+    next_token: u64,
+    rr_cursor: usize,
+    stats: CpuStats,
+}
+
+impl<P> Cpu<P> {
+    /// Create a CPU complex with `num_cpus` processors.
+    pub fn new(num_cpus: usize) -> Self {
+        assert!(num_cpus > 0);
+        Cpu {
+            num_cpus,
+            lanes: Vec::new(),
+            running: std::collections::HashMap::new(),
+            next_token: 0,
+            rr_cursor: 0,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// Register a lane with a parallelism cap; returns its id.
+    pub fn add_lane(&mut self, cap: usize) -> LaneId {
+        assert!(cap > 0, "lane cap must be positive");
+        self.lanes.push(Lane {
+            cap,
+            running: 0,
+            queue: VecDeque::new(),
+        });
+        LaneId(self.lanes.len() - 1)
+    }
+
+    /// Change a lane's cap (e.g. reconfiguring worker threads between runs).
+    pub fn set_lane_cap(&mut self, lane: LaneId, cap: usize) {
+        assert!(cap > 0);
+        self.lanes[lane.0].cap = cap;
+    }
+
+    /// Number of processors.
+    pub fn num_cpus(&self) -> usize {
+        self.num_cpus
+    }
+
+    /// Jobs currently executing across all lanes.
+    pub fn running_total(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Jobs queued (not yet started) across all lanes.
+    pub fn queued_total(&self) -> usize {
+        self.lanes.iter().map(|l| l.queue.len()).sum()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+
+    /// Submit a job to a lane. Returns the jobs that *started* as a result
+    /// (the submitted one, if a processor and lane slot were free; empty
+    /// otherwise). The caller schedules a completion event per started job.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        lane: LaneId,
+        service: SimDuration,
+        payload: P,
+    ) -> Vec<(JobToken, SimTime, SimDuration)> {
+        self.lanes[lane.0].queue.push_back(QueuedJob {
+            service,
+            payload,
+            enqueued_at: now,
+        });
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queued_total());
+        self.try_start(now)
+    }
+
+    /// A running job finished: free its slot, return the payload plus any
+    /// jobs that could now start.
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+        token: JobToken,
+    ) -> (P, Vec<(JobToken, SimTime, SimDuration)>) {
+        let job = self
+            .running
+            .remove(&token.0)
+            .expect("completing unknown job token");
+        self.lanes[job.lane].running -= 1;
+        self.stats.jobs_completed += 1;
+        self.stats.queued_nanos += job.queued_for.as_nanos();
+        let started = self.try_start(now);
+        (job.payload, started)
+    }
+
+    /// Start every queued job that can run. Round-robin across lanes so one
+    /// saturated lane cannot starve the others.
+    fn try_start(&mut self, now: SimTime) -> Vec<(JobToken, SimTime, SimDuration)> {
+        let mut started = Vec::new();
+        let nlanes = self.lanes.len();
+        if nlanes == 0 {
+            return started;
+        }
+        loop {
+            if self.running.len() >= self.num_cpus {
+                break;
+            }
+            // Find the next lane (round-robin from the cursor) that has both
+            // queued work and lane headroom.
+            let mut picked = None;
+            for step in 0..nlanes {
+                let idx = (self.rr_cursor + step) % nlanes;
+                let lane = &self.lanes[idx];
+                if lane.running < lane.cap && !lane.queue.is_empty() {
+                    picked = Some(idx);
+                    break;
+                }
+            }
+            let Some(idx) = picked else { break };
+            self.rr_cursor = (idx + 1) % nlanes;
+            let job = self.lanes[idx].queue.pop_front().unwrap();
+            self.lanes[idx].running += 1;
+            self.next_token += 1;
+            let token = JobToken(self.next_token);
+            let finish = now + job.service;
+            self.stats.busy_nanos += job.service.as_nanos();
+            self.running.insert(
+                token.0,
+                RunningJob {
+                    payload: job.payload,
+                    lane: idx,
+                    queued_for: now.saturating_since(job.enqueued_at),
+                },
+            );
+            started.push((token, finish, job.service));
+        }
+        started
+    }
+
+    /// Drop all queued (not yet running) jobs in a lane, returning their
+    /// payloads — used when a server tears down (end of run).
+    pub fn drain_lane(&mut self, lane: LaneId) -> Vec<P> {
+        self.lanes[lane.0]
+            .queue
+            .drain(..)
+            .map(|j| j.payload)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn single_cpu_serialises_jobs() {
+        let mut cpu: Cpu<&str> = Cpu::new(1);
+        let lane = cpu.add_lane(10);
+        let s1 = cpu.submit(at(0), lane, ms(5), "a");
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].1, at(5));
+        let s2 = cpu.submit(at(1), lane, ms(5), "b");
+        assert!(s2.is_empty(), "second job must queue on 1 CPU");
+        let (p, s3) = cpu.complete(at(5), s1[0].0);
+        assert_eq!(p, "a");
+        assert_eq!(s3.len(), 1);
+        assert_eq!(s3[0].1, at(10));
+    }
+
+    #[test]
+    fn multiple_cpus_run_in_parallel() {
+        let mut cpu: Cpu<u32> = Cpu::new(4);
+        let lane = cpu.add_lane(100);
+        let mut started = Vec::new();
+        for i in 0..6 {
+            started.extend(cpu.submit(at(0), lane, ms(10), i));
+        }
+        assert_eq!(started.len(), 4, "4 CPUs ⇒ 4 concurrent jobs");
+        assert_eq!(cpu.queued_total(), 2);
+    }
+
+    #[test]
+    fn lane_cap_limits_parallelism_below_cpu_count() {
+        // The nio-with-1-worker case: 4 CPUs but a single worker thread.
+        let mut cpu: Cpu<u32> = Cpu::new(4);
+        let worker = cpu.add_lane(1);
+        let started = cpu.submit(at(0), worker, ms(10), 0);
+        assert_eq!(started.len(), 1);
+        let blocked = cpu.submit(at(0), worker, ms(10), 1);
+        assert!(blocked.is_empty(), "worker lane cap is 1");
+        // A different lane can still use the idle processors.
+        let accept = cpu.add_lane(1);
+        let s = cpu.submit(at(0), accept, ms(1), 99);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_prevents_lane_starvation() {
+        const MEEK: u32 = 999;
+        let mut cpu: Cpu<u32> = Cpu::new(1);
+        let busy = cpu.add_lane(10);
+        let meek = cpu.add_lane(10);
+        let first = cpu.submit(at(0), busy, ms(1), 0);
+        for i in 1..=5 {
+            assert!(cpu.submit(at(0), busy, ms(1), i).is_empty());
+        }
+        assert!(cpu.submit(at(0), meek, ms(1), MEEK).is_empty());
+        // Completing the running job must start the meek lane's job next
+        // (round-robin), not another busy job.
+        let (_, s) = cpu.complete(at(1), first[0].0);
+        assert_eq!(s.len(), 1);
+        let (p, _) = cpu.complete(at(2), s[0].0);
+        assert_eq!(p, MEEK);
+    }
+
+    #[test]
+    fn stats_track_busy_and_queueing() {
+        let mut cpu: Cpu<u32> = Cpu::new(1);
+        let lane = cpu.add_lane(10);
+        let s1 = cpu.submit(at(0), lane, ms(10), 0);
+        cpu.submit(at(0), lane, ms(10), 1);
+        let (_, s2) = cpu.complete(at(10), s1[0].0);
+        cpu.complete(at(20), s2[0].0);
+        let st = cpu.stats();
+        assert_eq!(st.jobs_completed, 2);
+        assert_eq!(st.busy_nanos, ms(20).as_nanos());
+        // Job 1 waited 10 ms in queue.
+        assert_eq!(st.queued_nanos, ms(10).as_nanos());
+        // Job 1 had already started when job 2 was queued, so the queue
+        // never held more than one waiting job.
+        assert_eq!(st.peak_queue, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown job token")]
+    fn completing_unknown_token_panics() {
+        let mut cpu: Cpu<u32> = Cpu::new(1);
+        cpu.complete(at(0), JobToken(99));
+    }
+
+    #[test]
+    fn drain_lane_returns_queued_payloads() {
+        let mut cpu: Cpu<u32> = Cpu::new(1);
+        let lane = cpu.add_lane(10);
+        cpu.submit(at(0), lane, ms(10), 1);
+        cpu.submit(at(0), lane, ms(10), 2);
+        cpu.submit(at(0), lane, ms(10), 3);
+        let drained = cpu.drain_lane(lane);
+        assert_eq!(drained, vec![2, 3], "running job is not drained");
+    }
+
+    #[test]
+    fn set_lane_cap_unblocks_jobs_on_next_completion() {
+        let mut cpu: Cpu<u32> = Cpu::new(4);
+        let lane = cpu.add_lane(1);
+        let s = cpu.submit(at(0), lane, ms(10), 0);
+        cpu.submit(at(0), lane, ms(10), 1);
+        cpu.submit(at(0), lane, ms(10), 2);
+        cpu.set_lane_cap(lane, 3);
+        let (_, started) = cpu.complete(at(10), s[0].0);
+        assert_eq!(started.len(), 2, "raised cap admits both waiters");
+    }
+}

@@ -1,0 +1,149 @@
+//! The synthetic static content store the real servers serve.
+//!
+//! A [`ContentStore`] materialises a SURGE [`FileSet`] as an in-memory
+//! virtual document tree: file `FileId(i)` lives at path `/f/<i>` and its
+//! body is a window into one shared byte arena (no per-file allocation —
+//! serving is a bounds-checked slice, like `sendfile` from page cache).
+
+use workload::{FileId, FileSet};
+
+/// In-memory static site.
+#[derive(Debug)]
+pub struct ContentStore {
+    sizes: Vec<u64>,
+    arena: Vec<u8>,
+}
+
+impl ContentStore {
+    /// Build from a SURGE file set. The arena is as large as the biggest
+    /// file; every body is served as a prefix slice of it.
+    pub fn from_fileset(files: &FileSet) -> ContentStore {
+        let sizes: Vec<u64> = files.iter().map(|(_, s)| s).collect();
+        let max = sizes.iter().copied().max().unwrap_or(0) as usize;
+        // Deterministic, compressible-but-not-trivial filler.
+        let arena: Vec<u8> = (0..max).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect();
+        ContentStore { sizes, arena }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Canonical path of a file.
+    pub fn path_of(&self, id: FileId) -> String {
+        format!("/f/{}", id.0)
+    }
+
+    /// Resolve a request target to a file id.
+    pub fn resolve(&self, target: &str) -> Option<FileId> {
+        let rest = target.strip_prefix("/f/")?;
+        // Ignore any query string.
+        let rest = rest.split('?').next().unwrap_or(rest);
+        let id: u32 = rest.parse().ok()?;
+        if (id as usize) < self.sizes.len() {
+            Some(FileId(id))
+        } else {
+            None
+        }
+    }
+
+    /// Body of a file, as a slice of the shared arena.
+    pub fn body(&self, id: FileId) -> &[u8] {
+        let len = self.sizes[id.0 as usize] as usize;
+        &self.arena[..len]
+    }
+
+    /// Size of a file in bytes.
+    pub fn size_of(&self, id: FileId) -> u64 {
+        self.sizes[id.0 as usize]
+    }
+
+    /// Deterministic Last-Modified timestamp of a file (unix seconds):
+    /// paper-era content, staggered per file so conditional-GET tests can
+    /// tell documents apart.
+    pub fn last_modified_unix(&self, id: FileId) -> u64 {
+        // 2004-01-01T00:00:00Z = 1072915200.
+        1_072_915_200 + id.0 as u64 * 60
+    }
+
+    /// The Last-Modified header value of a file.
+    pub fn last_modified(&self, id: FileId) -> String {
+        crate::date::http_date(self.last_modified_unix(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Rng;
+    use workload::SurgeConfig;
+
+    fn store() -> ContentStore {
+        let mut rng = Rng::new(5);
+        let fs = FileSet::build(
+            &SurgeConfig {
+                num_files: 50,
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        );
+        ContentStore::from_fileset(&fs)
+    }
+
+    #[test]
+    fn paths_resolve_roundtrip() {
+        let s = store();
+        for i in 0..s.len() as u32 {
+            let id = FileId(i);
+            assert_eq!(s.resolve(&s.path_of(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn unknown_paths_do_not_resolve() {
+        let s = store();
+        assert_eq!(s.resolve("/"), None);
+        assert_eq!(s.resolve("/f/999999"), None);
+        assert_eq!(s.resolve("/f/abc"), None);
+        assert_eq!(s.resolve("/g/1"), None);
+    }
+
+    #[test]
+    fn query_strings_ignored() {
+        let s = store();
+        assert_eq!(s.resolve("/f/3?cache=no"), Some(FileId(3)));
+    }
+
+    #[test]
+    fn bodies_match_sizes() {
+        let s = store();
+        for i in 0..s.len() as u32 {
+            let id = FileId(i);
+            assert_eq!(s.body(id).len() as u64, s.size_of(id));
+        }
+    }
+
+    #[test]
+    fn last_modified_is_stable_and_distinct() {
+        let s = store();
+        let a = s.last_modified(FileId(0));
+        assert_eq!(a, s.last_modified(FileId(0)));
+        assert_ne!(a, s.last_modified(FileId(1)));
+        assert!(a.ends_with(" GMT"));
+        assert!(a.contains("2004"), "{a}");
+    }
+
+    #[test]
+    fn bodies_share_a_prefix_arena() {
+        let s = store();
+        let a = s.body(FileId(0));
+        let b = s.body(FileId(1));
+        let common = a.len().min(b.len());
+        assert_eq!(&a[..common], &b[..common]);
+    }
+}

@@ -1,0 +1,21 @@
+//! `httpcore` — real HTTP/1.1 machinery shared by the live servers and the
+//! live load generator.
+//!
+//! * [`buffer`] — read-accumulation buffer with front consumption;
+//! * [`request`] — incremental, never-panicking request parser with
+//!   persistent-connection and pipelining semantics;
+//! * [`response`] — response head writer (server) and parser (client);
+//! * [`content`] — the SURGE content store served by the real servers;
+//! * [`date`] — allocation-light IMF-fixdate formatting.
+
+pub mod buffer;
+pub mod content;
+pub mod date;
+pub mod request;
+pub mod response;
+
+pub use buffer::ReadBuf;
+pub use content::ContentStore;
+pub use date::{http_date, now_http_date};
+pub use request::{Method, ParseError, ParseOutcome, ParserLimits, Request, RequestParser, Version};
+pub use response::{parse_response_head, write_head, write_head_full, ResponseHead, Status};

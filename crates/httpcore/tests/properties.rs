@@ -1,0 +1,84 @@
+//! Property tests: the request parser must never panic and must be
+//! insensitive to how bytes are chunked; the response writer must round-trip
+//! through the client-side parser.
+
+use httpcore::{
+    parse_response_head, write_head, ParseOutcome, RequestParser, Status, Version,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the parser, no matter how they are
+    /// chunked; repeated parse() calls always terminate.
+    #[test]
+    fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                           chunk in 1usize..64) {
+        let mut p = RequestParser::new();
+        for c in data.chunks(chunk) {
+            p.feed(c);
+            for _ in 0..8 {
+                match p.parse() {
+                    ParseOutcome::Complete(_) | ParseOutcome::Error(_) => {}
+                    ParseOutcome::Incomplete => break,
+                }
+            }
+        }
+    }
+
+    /// A well-formed request parses identically regardless of chunk size.
+    #[test]
+    fn chunking_is_invisible(target in "[a-z0-9/._-]{1,40}", chunk in 1usize..32) {
+        let raw = format!("GET /{target} HTTP/1.1\r\nHost: sut\r\nX-K: v\r\n\r\n");
+        let mut whole = RequestParser::new();
+        whole.feed(raw.as_bytes());
+        let ParseOutcome::Complete(expect) = whole.parse() else {
+            return Err(TestCaseError::fail("whole parse failed"));
+        };
+        let mut pieces = RequestParser::new();
+        let mut got = None;
+        for c in raw.as_bytes().chunks(chunk) {
+            pieces.feed(c);
+            if let ParseOutcome::Complete(r) = pieces.parse() {
+                got = Some(r);
+            }
+        }
+        prop_assert_eq!(got.expect("piecewise parse incomplete"), expect);
+    }
+
+    /// Pipelined sequences of N requests all come back out, in order.
+    #[test]
+    fn pipelining_preserves_order(ids in proptest::collection::vec(0u32..100_000, 1..20)) {
+        let mut raw = Vec::new();
+        for id in &ids {
+            raw.extend_from_slice(format!("GET /f/{id} HTTP/1.1\r\nHost: s\r\n\r\n").as_bytes());
+        }
+        let mut p = RequestParser::new();
+        p.feed(&raw);
+        for id in &ids {
+            let ParseOutcome::Complete(r) = p.parse() else {
+                return Err(TestCaseError::fail("missing pipelined request"));
+            };
+            prop_assert_eq!(r.target, format!("/f/{id}"));
+        }
+        prop_assert_eq!(p.parse(), ParseOutcome::Incomplete);
+    }
+
+    /// Every head the server writer emits parses back on the client with
+    /// identical fields.
+    #[test]
+    fn response_head_roundtrip(len in 0usize..10_000_000, keep in any::<bool>()) {
+        let mut out = Vec::new();
+        let n = write_head(&mut out, Version::Http11, Status::Ok, len, keep, "Thu, 01 Jan 1970 00:00:00 GMT");
+        let head = parse_response_head(&out).expect("complete").expect("valid");
+        prop_assert_eq!(head.head_len, n);
+        prop_assert_eq!(head.status, 200);
+        prop_assert_eq!(head.content_length, len);
+        prop_assert_eq!(head.keep_alive, keep);
+    }
+
+    /// The client response parser never panics on arbitrary bytes.
+    #[test]
+    fn response_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = parse_response_head(&data);
+    }
+}

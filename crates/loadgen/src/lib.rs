@@ -1,0 +1,420 @@
+//! `loadgen` — a live httperf-style workload generator.
+//!
+//! Drives either real server over loopback with the same session semantics
+//! the simulation uses (and that the paper configured httperf with):
+//! emulated clients running back-to-back sessions of ~6.5 requests in
+//! pipelined bursts over persistent connections, heavy-tailed think times,
+//! and a client socket timeout covering connect and reply progress. Errors
+//! are classified exactly as httperf does: client timeouts vs connection
+//! resets vs refusals.
+//!
+//! Think times can be scaled down (`think_scale`) so a test exercises the
+//! full session machinery in hundreds of milliseconds.
+
+use desim::Rng;
+use metrics::{ClientError, ErrorCounters, Histogram};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use workload::{FileSet, SessionConfig, SessionPlan};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub target: SocketAddr,
+    /// Concurrent emulated clients (one thread each).
+    pub clients: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    pub session: SessionConfig,
+    /// Client socket timeout (httperf's 10 s; scale down for tests).
+    pub client_timeout: Duration,
+    /// Multiplier on think times (1.0 = faithful; tests use ~0.01).
+    pub think_scale: f64,
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            target: SocketAddr::from(([127, 0, 0, 1], 0)),
+            clients: 8,
+            duration: Duration::from_secs(2),
+            session: SessionConfig::default(),
+            client_timeout: Duration::from_secs(10),
+            think_scale: 1.0,
+            seed: 0x010A_D6E4,
+        }
+    }
+}
+
+/// Aggregated measurement across all emulated clients.
+#[derive(Debug)]
+pub struct LoadReport {
+    pub replies: u64,
+    pub requests: u64,
+    pub bytes_received: u64,
+    pub sessions_completed: u64,
+    pub sessions_aborted: u64,
+    pub errors: ErrorCounters,
+    /// Per-reply response time, µs.
+    pub response_time_us: Histogram,
+    /// Connection establishment time, µs.
+    pub connect_time_us: Histogram,
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    fn new() -> LoadReport {
+        LoadReport {
+            replies: 0,
+            requests: 0,
+            bytes_received: 0,
+            sessions_completed: 0,
+            sessions_aborted: 0,
+            errors: ErrorCounters::default(),
+            response_time_us: Histogram::default_precision(),
+            connect_time_us: Histogram::default_precision(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    fn merge(&mut self, other: &LoadReport) {
+        self.replies += other.replies;
+        self.requests += other.requests;
+        self.bytes_received += other.bytes_received;
+        self.sessions_completed += other.sessions_completed;
+        self.sessions_aborted += other.sessions_aborted;
+        self.errors.merge(&other.errors);
+        self.response_time_us.merge(&other.response_time_us);
+        self.connect_time_us.merge(&other.connect_time_us);
+    }
+
+    /// Render an httperf-style summary block.
+    pub fn render(&self) -> String {
+        format!(
+            "replies: {} ({:.0}/s)  requests: {}  bytes: {}\n\
+             response time: mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms\n\
+             connect time:  mean {:.2} ms\n\
+             sessions: {} completed, {} aborted\n\
+             errors: {} client-timeout, {} connection-reset, {} refused, {} socket",
+            self.replies,
+            self.throughput_rps(),
+            self.requests,
+            self.bytes_received,
+            self.response_time_us.mean() / 1000.0,
+            self.response_time_us.quantile(0.5) as f64 / 1000.0,
+            self.response_time_us.quantile(0.99) as f64 / 1000.0,
+            self.connect_time_us.mean() / 1000.0,
+            self.sessions_completed,
+            self.sessions_aborted,
+            self.errors.client_timeout,
+            self.errors.connection_reset,
+            self.errors.connection_refused,
+            self.errors.socket_error,
+        )
+    }
+
+    /// Replies per second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.replies as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Run the generator against a live server. Blocks for `cfg.duration`.
+pub fn run(cfg: &LoadConfig, files: &FileSet) -> LoadReport {
+    assert!(cfg.clients > 0);
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|i| {
+                let cfg = cfg.clone();
+                scope.spawn(move || client_loop(&cfg, files, i as u64, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let mut total = LoadReport::new();
+    for r in &reports {
+        total.merge(r);
+    }
+    total.wall = start.elapsed();
+    total
+}
+
+/// What ended a burst exchange.
+enum ExchangeEnd {
+    Ok,
+    Timeout,
+    Reset,
+    OtherError,
+}
+
+fn classify(e: &io::Error) -> ExchangeEnd {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ExchangeEnd::Timeout,
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::ConnectionAborted => ExchangeEnd::Reset,
+        _ => ExchangeEnd::OtherError,
+    }
+}
+
+fn client_loop(cfg: &LoadConfig, files: &FileSet, id: u64, deadline: Instant) -> LoadReport {
+    let mut report = LoadReport::new();
+    let mut rng = Rng::new(cfg.seed ^ 0x5E55_0000).split_labeled(id);
+    let mut scratch = vec![0u8; 64 * 1024];
+    'sessions: while Instant::now() < deadline {
+        let plan = SessionPlan::generate(&cfg.session, files, &mut rng);
+        // Connect (measured).
+        let t0 = Instant::now();
+        let remaining = deadline.saturating_duration_since(t0);
+        if remaining.is_zero() {
+            break;
+        }
+        let stream = TcpStream::connect_timeout(
+            &cfg.target,
+            cfg.client_timeout.min(remaining.max(Duration::from_millis(10))),
+        );
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                match classify(&e) {
+                    ExchangeEnd::Timeout => report.errors.record(ClientError::ClientTimeout),
+                    ExchangeEnd::Reset => report.errors.record(ClientError::ConnectionReset),
+                    _ => report.errors.record(ClientError::ConnectionRefused),
+                }
+                report.sessions_aborted += 1;
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        report
+            .connect_time_us
+            .record(t0.elapsed().as_micros() as u64);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(cfg.client_timeout));
+
+        for (bi, burst) in plan.bursts.iter().enumerate() {
+            if bi > 0 {
+                let think = burst.think_before.as_secs_f64() * cfg.think_scale;
+                let think = Duration::from_secs_f64(think);
+                if Instant::now() + think >= deadline {
+                    report.sessions_aborted += 1;
+                    continue 'sessions;
+                }
+                std::thread::sleep(think);
+            }
+            match exchange_burst(cfg, files, &mut stream, &burst.files, &mut scratch, &mut report)
+            {
+                ExchangeEnd::Ok => {}
+                ExchangeEnd::Timeout => {
+                    report.errors.record(ClientError::ClientTimeout);
+                    report.sessions_aborted += 1;
+                    continue 'sessions;
+                }
+                ExchangeEnd::Reset => {
+                    report.errors.record(ClientError::ConnectionReset);
+                    report.sessions_aborted += 1;
+                    continue 'sessions;
+                }
+                ExchangeEnd::OtherError => {
+                    report.errors.record(ClientError::SocketError);
+                    report.sessions_aborted += 1;
+                    continue 'sessions;
+                }
+            }
+        }
+        report.sessions_completed += 1;
+        // Connection closes on drop; the next session opens a fresh one.
+    }
+    report
+}
+
+/// Send one pipelined burst and read all its replies.
+fn exchange_burst(
+    _cfg: &LoadConfig,
+    files: &FileSet,
+    stream: &mut TcpStream,
+    targets: &[workload::FileId],
+    scratch: &mut [u8],
+    report: &mut LoadReport,
+) -> ExchangeEnd {
+    // Pipelined request block.
+    let mut out = Vec::with_capacity(targets.len() * 64);
+    for f in targets {
+        out.extend_from_slice(format!("GET /f/{} HTTP/1.1\r\nHost: sut\r\n\r\n", f.0).as_bytes());
+    }
+    let sent_at = Instant::now();
+    if let Err(e) = stream.write_all(&out) {
+        return classify(&e);
+    }
+    report.requests += targets.len() as u64;
+
+    // Read replies with Content-Length framing.
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut expected = targets.len();
+    let expect_sizes: Vec<u64> = targets.iter().map(|&f| files.size_of(f)).collect();
+    let mut idx = 0;
+    while expected > 0 {
+        // Parse as many complete replies as the buffer holds.
+        loop {
+            match httpcore::parse_response_head(&buf) {
+                Some(Ok(head)) => {
+                    let total = head.head_len + head.content_length;
+                    if buf.len() < total {
+                        break; // need more body bytes
+                    }
+                    report.replies += 1;
+                    report.bytes_received += total as u64;
+                    report
+                        .response_time_us
+                        .record(sent_at.elapsed().as_micros() as u64);
+                    if head.status == 200 {
+                        debug_assert_eq!(
+                            head.content_length as u64, expect_sizes[idx],
+                            "reply size mismatch"
+                        );
+                    }
+                    idx += 1;
+                    expected -= 1;
+                    buf.drain(..total);
+                    if expected == 0 {
+                        return ExchangeEnd::Ok;
+                    }
+                }
+                Some(Err(_)) => return ExchangeEnd::OtherError,
+                None => break,
+            }
+        }
+        match stream.read(scratch) {
+            Ok(0) => return ExchangeEnd::Reset, // server closed mid-burst
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return classify(&e),
+        }
+    }
+    ExchangeEnd::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpcore::ContentStore;
+    use std::sync::Arc;
+    use workload::SurgeConfig;
+
+    fn small_files() -> FileSet {
+        let mut rng = Rng::new(3);
+        FileSet::build(
+            &SurgeConfig {
+                num_files: 30,
+                tail_prob: 0.0,
+                body_mu: 7.0, // small files: fast tests
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    fn quick_cfg(target: SocketAddr) -> LoadConfig {
+        LoadConfig {
+            target,
+            clients: 4,
+            duration: Duration::from_millis(1200),
+            session: SessionConfig::default(),
+            client_timeout: Duration::from_secs(5),
+            think_scale: 0.005,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn drives_the_nio_server() {
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = nioserver::NioServer::start(nioserver::NioConfig {
+            workers: 2,
+            selector: nioserver::SelectorKind::Epoll,
+            content,
+        })
+        .unwrap();
+        let report = run(&quick_cfg(server.addr()), &files);
+        assert!(report.replies > 20, "replies {}", report.replies);
+        assert!(report.sessions_completed > 0);
+        assert_eq!(report.errors.connection_reset, 0, "nio never resets");
+        assert!(report.throughput_rps() > 10.0);
+        assert!(report.response_time_us.count() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drives_the_pool_server() {
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = poolserver::PoolServer::start(poolserver::PoolConfig {
+            pool_size: 8,
+            idle_timeout: None,
+            content,
+        })
+        .unwrap();
+        let report = run(&quick_cfg(server.addr()), &files);
+        assert!(report.replies > 20, "replies {}", report.replies);
+        assert!(report.sessions_completed > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn counts_resets_against_short_idle_timeouts() {
+        // Pool server with a 1 s idle timeout + unscaled multi-second think
+        // times ⇒ the generator must observe connection resets, the live
+        // analogue of figure 3(b).
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = poolserver::PoolServer::start(poolserver::PoolConfig {
+            pool_size: 8,
+            idle_timeout: Some(Duration::from_millis(300)),
+            content,
+        })
+        .unwrap();
+        let cfg = LoadConfig {
+            clients: 6,
+            duration: Duration::from_secs(3),
+            // Keep think times real enough to exceed the 300 ms timeout.
+            think_scale: 1.0,
+            client_timeout: Duration::from_secs(5),
+            ..quick_cfg(server.addr())
+        };
+        let report = run(&cfg, &files);
+        assert!(
+            report.errors.connection_reset > 0,
+            "expected resets: {:?}",
+            report.errors
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn refused_connections_are_counted() {
+        // Nobody listens on this port (bind, learn the port, drop).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let files = small_files();
+        let cfg = LoadConfig {
+            clients: 2,
+            duration: Duration::from_millis(300),
+            ..quick_cfg(addr)
+        };
+        let report = run(&cfg, &files);
+        assert_eq!(report.replies, 0);
+        assert!(report.errors.connection_refused > 0);
+        assert!(report.sessions_aborted > 0);
+    }
+}

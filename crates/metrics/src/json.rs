@@ -1,0 +1,181 @@
+//! Minimal JSON emission (output only).
+//!
+//! Experiment results are exported as JSON for external plotting. The data
+//! is all tree-shaped numbers and strings, so rather than pull in a
+//! serialization framework we provide a small, correct writer: proper string
+//! escaping, finite-float handling, and a builder API that makes malformed
+//! output unrepresentable.
+
+use std::fmt::Write as _;
+
+/// A JSON value builder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite numbers only; NaN/inf are serialized as null per RFC 8259's
+    /// refusal to represent them.
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build an array of numbers.
+    pub fn nums<I: IntoIterator<Item = f64>>(xs: I) -> Json {
+        Json::Array(xs.into_iter().map(Json::Num).collect())
+    }
+
+    /// Serialize compactly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.5).render(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into()).render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let j = Json::obj(vec![
+            ("name", "fig1".into()),
+            ("clients", Json::nums([60.0, 600.0])),
+            (
+                "series",
+                Json::Array(vec![Json::obj(vec![
+                    ("label", "nio-1".into()),
+                    ("ok", true.into()),
+                ])]),
+            ),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"fig1","clients":[60,600],"series":[{"label":"nio-1","ok":true}]}"#
+        );
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(Json::Str("Barça €".into()).render(), "\"Barça €\"");
+    }
+
+    #[test]
+    fn large_integers_stay_integral() {
+        assert_eq!(Json::Num(123456789.0).render(), "123456789");
+        assert_eq!(Json::from(42u64).render(), "42");
+    }
+}

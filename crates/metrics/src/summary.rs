@@ -1,0 +1,186 @@
+//! Streaming summary statistics (Welford's algorithm).
+//!
+//! For quantities where a full histogram is overkill — per-window rates,
+//! bandwidth samples — `Summary` accumulates count/mean/variance/min/max in
+//! O(1) space with numerically stable updates.
+
+/// Streaming count/mean/variance/min/max accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation estimate.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.add(x)
+            } else {
+                b.add(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.add(3.0);
+        s.add(5.0);
+        let before_mean = s.mean();
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), before_mean);
+
+        let mut e = Summary::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), before_mean);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        let mut s = Summary::new();
+        for i in 0..1000 {
+            s.add(1e9 + (i % 2) as f64);
+        }
+        assert!((s.mean() - (1e9 + 0.5)).abs() < 1e-3);
+        assert!((s.variance() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,12 @@
+//! `netsim` — the network substrate for the simulated testbed.
+//!
+//! Models the paper's crossover-cable topology: one or more point-to-point
+//! links between client machines and the SUT, each a processor-sharing
+//! fluid bottleneck ([`PsLink`]), plus TCP-ish connection lifecycle
+//! bookkeeping ([`conn::Connection`]).
+
+pub mod conn;
+pub mod link;
+
+pub use conn::{CloseKind, ConnId, ConnState, Connection};
+pub use link::{FlowId, LinkConfig, PsLink};

@@ -1,0 +1,607 @@
+//! `nioserver` — the live event-driven HTTP server (the paper's "nio"
+//! server, in Rust).
+//!
+//! Architecture, faithful to the paper's description: **one acceptor
+//! thread** blocks on the listen socket and hands accepted connections to
+//! **`workers` worker threads**, each running a readiness-selection loop
+//! over its share of the connections with strictly non-blocking I/O. A
+//! worker never blocks on a socket: a full send buffer simply re-arms the
+//! connection for writability and the worker moves on to the next ready key
+//! — the "sharing the network resource in a more fair way between clients"
+//! behaviour the paper measures.
+//!
+//! The server never applies an inactivity timeout to its clients (it has no
+//! thread bound to them to reclaim), which is why it produces zero
+//! connection-reset errors in figure 3(b).
+
+use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
+use reactor::{Event, Interest, Selector, Token, Waker};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which selector backend the workers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// `epoll(7)`: O(ready) — a modern JVM/kernel.
+    Epoll,
+    /// `poll(2)`: O(registered) — the 2004 testbed's behaviour.
+    Poll,
+}
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct NioConfig {
+    /// Worker (selector) threads. The paper's headline: 1–2 suffice.
+    pub workers: usize,
+    pub selector: SelectorKind,
+    /// Content to serve.
+    pub content: Arc<ContentStore>,
+}
+
+/// Live counters, shared with the handle.
+#[derive(Debug, Default)]
+pub struct NioStats {
+    pub accepted: AtomicU64,
+    pub requests: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub parse_errors: AtomicU64,
+}
+
+/// Handle to a running server; dropping it stops the server.
+pub struct NioServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NioStats>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NioServer {
+    /// Bind `127.0.0.1:0` and start the acceptor + workers.
+    pub fn start(config: NioConfig) -> io::Result<NioServer> {
+        assert!(config.workers > 0);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NioStats::default());
+
+        // Channels: acceptor → workers, round-robin, with a self-pipe waker
+        // per worker so a handed-over connection is adopted immediately
+        // (Java NIO's Selector.wakeup()).
+        let mut senders = Vec::new();
+        let mut threads = Vec::new();
+        for w in 0..config.workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+            let waker = Arc::new(Waker::new()?);
+            senders.push((tx, Arc::clone(&waker)));
+            let stop_w = Arc::clone(&stop);
+            let stats_w = Arc::clone(&stats);
+            let cfg = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("nio-worker-{w}"))
+                    .spawn(move || worker_loop(cfg, rx, waker, stop_w, stats_w))
+                    .expect("spawn worker"),
+            );
+        }
+        let stop_a = Arc::clone(&stop);
+        let stats_a = Arc::clone(&stats);
+        threads.push(
+            std::thread::Builder::new()
+                .name("nio-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, senders, stop_a, stats_a))
+                .expect("spawn acceptor"),
+        );
+        Ok(NioServer {
+            addr,
+            stop,
+            stats,
+            threads,
+        })
+    }
+
+    /// Address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &NioStats {
+        &self.stats
+    }
+
+    /// Signal all threads to stop and join them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NioServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The single acceptor thread: accept and distribute, nothing else — the
+/// reason connection-establishment time stays flat in figure 4.
+fn acceptor_loop(
+    listener: TcpListener,
+    senders: Vec<(crossbeam::channel::Sender<TcpStream>, Arc<Waker>)>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NioStats>,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                // Round-robin across workers; a closed channel means the
+                // worker died with the server.
+                let (tx, waker) = &senders[next % senders.len()];
+                if tx.send(stream).is_err() {
+                    return;
+                }
+                waker.wake();
+                next += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Per-connection worker-side state.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Pending output (response heads + bodies), front-consumed.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Close once the output drains (HTTP/1.0 or Connection: close or 400).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    fn interest(&self) -> Interest {
+        if self.wants_write() {
+            Interest::BOTH
+        } else {
+            Interest::READABLE
+        }
+    }
+}
+
+/// Token 0 is reserved for the waker; connections start at 1.
+const WAKER_TOKEN: Token = Token(0);
+
+fn worker_loop(
+    cfg: NioConfig,
+    rx: crossbeam::channel::Receiver<TcpStream>,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NioStats>,
+) {
+    let mut selector: Box<dyn Selector> = match cfg.selector {
+        SelectorKind::Epoll => Box::new(reactor::EpollSelector::new().expect("epoll")),
+        SelectorKind::Poll => Box::new(reactor::PollSelector::new()),
+    };
+    selector
+        .register(waker.read_fd(), WAKER_TOKEN, Interest::READABLE)
+        .expect("register waker");
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut date = httpcore::now_http_date();
+    let mut date_refresh = std::time::Instant::now();
+
+    while !stop.load(Ordering::Relaxed) {
+        // Adopt freshly accepted connections.
+        while let Ok(stream) = rx.try_recv() {
+            next_token += 1;
+            let token = Token(next_token);
+            if selector
+                .register(stream.as_raw_fd(), token, Interest::READABLE)
+                .is_ok()
+            {
+                conns.insert(
+                    next_token,
+                    Conn {
+                        stream,
+                        parser: RequestParser::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        close_after_flush: false,
+                    },
+                );
+            }
+        }
+
+        if date_refresh.elapsed() > Duration::from_secs(1) {
+            date = httpcore::now_http_date();
+            date_refresh = std::time::Instant::now();
+        }
+
+        events.clear();
+        // The waker interrupts this wait the moment a connection is handed
+        // over; the 100 ms ceiling only bounds shutdown latency.
+        let _ = selector.select(&mut events, Some(Duration::from_millis(100)));
+        let drained: Vec<Event> = std::mem::take(&mut events);
+        for ev in drained {
+            if ev.token == WAKER_TOKEN {
+                waker.drain();
+                continue;
+            }
+            let token = ev.token.0;
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let mut dead = ev.error && !ev.readable;
+            if ev.readable && !dead {
+                dead = handle_readable(conn, &cfg, &stats, &mut read_buf, &date);
+            }
+            if ev.writable && !dead {
+                dead = flush_output(conn, &stats);
+            }
+            if !dead && !conn.wants_write() && conn.close_after_flush {
+                dead = true;
+            }
+            if dead {
+                let fd = conn.stream.as_raw_fd();
+                let _ = selector.deregister(fd);
+                conns.remove(&token);
+            } else {
+                let fd = conn.stream.as_raw_fd();
+                let _ = selector.reregister(fd, Token(token), conn.interest());
+            }
+        }
+    }
+}
+
+/// Drain the socket and serve every complete request. Returns true when the
+/// connection must be torn down.
+fn handle_readable(
+    conn: &mut Conn,
+    cfg: &NioConfig,
+    stats: &NioStats,
+    scratch: &mut [u8],
+    date: &str,
+) -> bool {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return !conn.wants_write(), // peer closed; flush leftovers
+            Ok(n) => {
+                conn.parser.feed(&scratch[..n]);
+                loop {
+                    match conn.parser.parse() {
+                        ParseOutcome::Complete(req) => {
+                            serve(conn, cfg, stats, &req, date);
+                        }
+                        ParseOutcome::Incomplete => break,
+                        ParseOutcome::Error(_) => {
+                            stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                            respond_status(conn, Status::BadRequest, date);
+                            conn.close_after_flush = true;
+                            break;
+                        }
+                    }
+                }
+                // Opportunistic write of what we just queued.
+                if flush_output(conn, stats) {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Request, date: &str) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let keep = req.keep_alive();
+    match (req.method, cfg.content.resolve(&req.target)) {
+        (Method::Get, Some(id)) => {
+            let lm = cfg.content.last_modified(id);
+            if req.header("if-modified-since") == Some(lm.as_str()) {
+                httpcore::write_head_full(
+                    &mut conn.out,
+                    req.version,
+                    Status::NotModified,
+                    0,
+                    keep,
+                    date,
+                    Some(&lm),
+                );
+            } else {
+                let body = cfg.content.body(id);
+                httpcore::write_head_full(
+                    &mut conn.out,
+                    req.version,
+                    Status::Ok,
+                    body.len(),
+                    keep,
+                    date,
+                    Some(&lm),
+                );
+                conn.out.extend_from_slice(body);
+            }
+        }
+        (Method::Head, Some(id)) => {
+            let lm = cfg.content.last_modified(id);
+            let len = cfg.content.size_of(id) as usize;
+            httpcore::write_head_full(
+                &mut conn.out,
+                req.version,
+                Status::Ok,
+                len,
+                keep,
+                date,
+                Some(&lm),
+            );
+        }
+        (Method::Other, _) => {
+            httpcore::write_head(
+                &mut conn.out,
+                req.version,
+                Status::NotImplemented,
+                0,
+                keep,
+                date,
+            );
+        }
+        (_, None) => {
+            httpcore::write_head(&mut conn.out, req.version, Status::NotFound, 0, keep, date);
+        }
+    }
+    if !keep {
+        conn.close_after_flush = true;
+    }
+}
+
+fn respond_status(conn: &mut Conn, status: Status, date: &str) {
+    httpcore::write_head(&mut conn.out, Version::Http11, status, 0, false, date);
+}
+
+/// Non-blocking write of pending output. Returns true when the connection
+/// must be torn down (write error).
+fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return true,
+            Ok(n) => {
+                conn.out_pos += n;
+                stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    // Fully drained: reclaim the buffer.
+    conn.out.clear();
+    conn.out_pos = 0;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Rng;
+    use workload::{FileSet, SurgeConfig};
+
+    fn test_content() -> Arc<ContentStore> {
+        let mut rng = Rng::new(1);
+        let fs = FileSet::build(
+            &SurgeConfig {
+                num_files: 20,
+                tail_prob: 0.0,
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        );
+        Arc::new(ContentStore::from_fileset(&fs))
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        (head.status, buf[head.head_len..].to_vec())
+    }
+
+    #[test]
+    fn serves_files_end_to_end() {
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let (status, body) = get(server.addr(), "/f/3");
+        assert_eq!(status, 200);
+        assert_eq!(body, content.body(workload::FileId(3)));
+        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Poll,
+            content: test_content(),
+        })
+        .unwrap();
+        let (status, body) = get(server.addr(), "/nope");
+        assert_eq!(status, 404);
+        assert!(body.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn persistent_connection_pipelining() {
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 2,
+            selector: SelectorKind::Epoll,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Three pipelined requests on one connection.
+        write!(
+            s,
+            "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\nGET /f/1 HTTP/1.1\r\nHost: t\r\n\r\nGET /f/2 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let mut off = 0;
+        for id in 0..3u32 {
+            let head = httpcore::parse_response_head(&buf[off..])
+                .expect("complete head")
+                .expect("valid head");
+            assert_eq!(head.status, 200);
+            let body = &buf[off + head.head_len..off + head.head_len + head.content_length];
+            assert_eq!(body, content.body(workload::FileId(id)), "reply {id}");
+            off += head.head_len + head.content_length;
+        }
+        assert_eq!(off, buf.len(), "no trailing bytes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            content: test_content(),
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 400);
+        assert_eq!(server.stats().parse_errors.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn conditional_get_returns_304() {
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let lm = content.last_modified(workload::FileId(2));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(
+            s,
+            "GET /f/2 HTTP/1.1\r\nHost: t\r\nIf-Modified-Since: {lm}\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 304);
+        assert_eq!(head.content_length, 0);
+        assert_eq!(buf.len(), head.head_len, "no body after 304");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_if_modified_since_returns_full_body() {
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(
+            s,
+            "GET /f/2 HTTP/1.1\r\nHost: t\r\nIf-Modified-Since: Thu, 01 Jan 1970 00:00:00 GMT\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(
+            head.content_length as u64,
+            content.size_of(workload::FileId(2))
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_connections_on_one_worker() {
+        // The paper's architectural claim in miniature: one worker thread
+        // multiplexes many simultaneously connected clients.
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            content,
+        })
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                    write!(
+                        s,
+                        "GET /f/{} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+                        i % 20
+                    )
+                    .unwrap();
+                    let mut buf = Vec::new();
+                    s.read_to_end(&mut buf).unwrap();
+                    let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+                    assert_eq!(head.status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().requests.load(Ordering::Relaxed), 32);
+        server.shutdown();
+    }
+}

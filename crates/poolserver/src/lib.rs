@@ -1,0 +1,486 @@
+//! `poolserver` — the live multithreaded blocking HTTP server (the paper's
+//! Apache-worker-MPM stand-in, in Rust).
+//!
+//! Architecture: a pool of `pool_size` threads; each thread loops over
+//! "accept one connection (serialised by an accept mutex, as Apache does),
+//! then serve that connection with *blocking* I/O until it closes". The two
+//! architectural properties the paper measures fall straight out:
+//!
+//! * one connection binds one thread for its whole lifetime — under more
+//!   concurrent clients than threads, new connections wait in the kernel
+//!   backlog and connection-establishment time explodes (figure 4);
+//! * an idle-connection timeout (`idle_timeout`, Apache's 15 s `Timeout`)
+//!   is *required* to reclaim threads from thinking clients, and every such
+//!   reclaim surfaces at the client as a connection-reset error
+//!   (figure 3(b)).
+
+use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Threads in the pool (the paper sweeps 512–6000; live tests use less).
+    pub pool_size: usize,
+    /// Close connections idle longer than this (None = never — which, as
+    /// the paper explains, a threaded server cannot afford under load).
+    pub idle_timeout: Option<Duration>,
+    pub content: Arc<ContentStore>,
+}
+
+/// Live counters.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pub accepted: AtomicU64,
+    pub requests: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub idle_closes: AtomicU64,
+    pub parse_errors: AtomicU64,
+    /// Threads currently bound to a connection.
+    pub busy_threads: AtomicU64,
+}
+
+/// Handle to a running pool server; dropping it stops the server.
+pub struct PoolServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<PoolStats>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PoolServer {
+    /// Bind `127.0.0.1:0` and start the pool.
+    pub fn start(config: PoolConfig) -> io::Result<PoolServer> {
+        assert!(config.pool_size > 0);
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(PoolStats::default());
+        let accept_mutex = Arc::new(Mutex::new(listener));
+        let mut threads = Vec::new();
+        for i in 0..config.pool_size {
+            let stop_t = Arc::clone(&stop);
+            let stats_t = Arc::clone(&stats);
+            let mutex_t = Arc::clone(&accept_mutex);
+            let cfg = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pool-{i}"))
+                    .spawn(move || pool_thread(cfg, mutex_t, stop_t, stats_t))
+                    .expect("spawn pool thread"),
+            );
+        }
+        Ok(PoolServer {
+            addr,
+            stop,
+            stats,
+            threads,
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Signal all threads to stop and join them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PoolServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One pool thread: accept under the mutex, then serve the connection to
+/// completion with blocking I/O (the thread is unavailable throughout).
+fn pool_thread(
+    cfg: PoolConfig,
+    listener: Arc<Mutex<TcpListener>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<PoolStats>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        // Apache's accept serialisation: one thread in accept at a time.
+        let accepted = {
+            let guard = listener.lock();
+            guard.accept()
+        };
+        match accepted {
+            Ok((stream, _)) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                stats.busy_threads.fetch_add(1, Ordering::Relaxed);
+                serve_connection(&cfg, stream, &stop, &stats);
+                stats.busy_threads.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Serve one connection until it closes, errors, or idles out.
+fn serve_connection(
+    cfg: &PoolConfig,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    stats: &PoolStats,
+) {
+    let _ = stream.set_nodelay(true);
+    // Blocking reads with the idle timeout as the read timeout — exactly the
+    // Apache `Timeout` directive's mechanism. Bounded by 1 s slices so the
+    // thread also notices server shutdown.
+    let idle = cfg.idle_timeout.unwrap_or(Duration::from_secs(3600));
+    let mut idle_left = idle;
+    let slice = Duration::from_secs(1).min(idle);
+    let _ = stream.set_read_timeout(Some(slice));
+    let mut parser = RequestParser::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let date = httpcore::now_http_date();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                idle_left = idle;
+                parser.feed(&buf[..n]);
+                loop {
+                    match parser.parse() {
+                        ParseOutcome::Complete(req) => {
+                            let keep = req.keep_alive();
+                            if !respond(cfg, &mut stream, stats, &req, &date) {
+                                return; // write error: peer gone
+                            }
+                            if !keep {
+                                return;
+                            }
+                        }
+                        ParseOutcome::Incomplete => break,
+                        ParseOutcome::Error(_) => {
+                            stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                            let mut out = Vec::new();
+                            httpcore::write_head(
+                                &mut out,
+                                Version::Http11,
+                                Status::BadRequest,
+                                0,
+                                false,
+                                &date,
+                            );
+                            let _ = stream.write_all(&out);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // One idle slice elapsed with no data.
+                idle_left = idle_left.saturating_sub(slice);
+                if idle_left.is_zero() {
+                    // Reclaim the thread: abortive close so the thinking
+                    // client sees ECONNRESET on its next send, as the
+                    // paper's Apache does.
+                    stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+                    let _ = set_linger_zero(&stream);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Write the response for one request with *blocking* I/O: the thread does
+/// not return until the kernel accepted every byte.
+fn respond(
+    cfg: &PoolConfig,
+    stream: &mut TcpStream,
+    stats: &PoolStats,
+    req: &httpcore::Request,
+    date: &str,
+) -> bool {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let keep = req.keep_alive();
+    let mut out = Vec::new();
+    match (req.method, cfg.content.resolve(&req.target)) {
+        (Method::Get, Some(id)) => {
+            let lm = cfg.content.last_modified(id);
+            if req.header("if-modified-since") == Some(lm.as_str()) {
+                httpcore::write_head_full(
+                    &mut out,
+                    req.version,
+                    Status::NotModified,
+                    0,
+                    keep,
+                    date,
+                    Some(&lm),
+                );
+            } else {
+                let body = cfg.content.body(id);
+                httpcore::write_head_full(
+                    &mut out,
+                    req.version,
+                    Status::Ok,
+                    body.len(),
+                    keep,
+                    date,
+                    Some(&lm),
+                );
+                out.extend_from_slice(body);
+            }
+        }
+        (Method::Head, Some(id)) => {
+            let lm = cfg.content.last_modified(id);
+            let len = cfg.content.size_of(id) as usize;
+            httpcore::write_head_full(&mut out, req.version, Status::Ok, len, keep, date, Some(&lm));
+        }
+        (Method::Other, _) => {
+            httpcore::write_head(&mut out, req.version, Status::NotImplemented, 0, keep, date);
+        }
+        (_, None) => {
+            httpcore::write_head(&mut out, req.version, Status::NotFound, 0, keep, date);
+        }
+    }
+    match stream.write_all(&out) {
+        Ok(()) => {
+            stats
+                .bytes_sent
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// SO_LINGER(0): make `close()` send RST instead of FIN, so the client's
+/// next operation observes ECONNRESET — httperf's "connection reset" error.
+fn set_linger_zero(stream: &TcpStream) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let r = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &linger as *const Linger as *const _,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    if r < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Rng;
+    use workload::{FileSet, SurgeConfig};
+
+    fn test_content() -> Arc<ContentStore> {
+        let mut rng = Rng::new(1);
+        let fs = FileSet::build(
+            &SurgeConfig {
+                num_files: 20,
+                tail_prob: 0.0,
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        );
+        Arc::new(ContentStore::from_fileset(&fs))
+    }
+
+    fn start(pool: usize, idle: Option<Duration>) -> (PoolServer, Arc<ContentStore>) {
+        let content = test_content();
+        let server = PoolServer::start(PoolConfig {
+            pool_size: pool,
+            idle_timeout: idle,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        (server, content)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        (head.status, buf[head.head_len..].to_vec())
+    }
+
+    #[test]
+    fn serves_files_end_to_end() {
+        let (server, content) = start(4, None);
+        let (status, body) = get(server.addr(), "/f/5");
+        assert_eq!(status, 200);
+        assert_eq!(body, content.body(workload::FileId(5)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests() {
+        let (server, content) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for id in [0u32, 1, 2] {
+            write!(s, "GET /f/{id} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            let mut tmp = [0u8; 4096];
+            let head = loop {
+                if let Some(h) = httpcore::parse_response_head(&buf) {
+                    break h.unwrap();
+                }
+                let n = s.read(&mut tmp).unwrap();
+                assert!(n > 0, "server closed mid-reply");
+                buf.extend_from_slice(&tmp[..n]);
+            };
+            while buf.len() < head.head_len + head.content_length {
+                let n = s.read(&mut tmp).unwrap();
+                assert!(n > 0);
+                buf.extend_from_slice(&tmp[..n]);
+            }
+            assert_eq!(head.status, 200);
+            assert_eq!(
+                &buf[head.head_len..head.head_len + head.content_length],
+                content.body(workload::FileId(id))
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_resets_thinking_clients() {
+        let (server, _) = start(2, Some(Duration::from_secs(1)));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // First request succeeds.
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0);
+        // "Think" past the server's idle timeout.
+        std::thread::sleep(Duration::from_millis(2500));
+        // The next send (or the read after it) must observe the close/reset.
+        let send_result = write!(s, "GET /f/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        let reset = match send_result {
+            Err(_) => true,
+            Ok(()) => {
+                let _ = s.flush();
+                loop {
+                    match s.read(&mut tmp) {
+                        Ok(0) => break true,
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == io::ErrorKind::ConnectionReset => break true,
+                        Err(_) => break true,
+                    }
+                }
+            }
+        };
+        assert!(reset, "idle connection must be reset by the server");
+        assert!(server.stats().idle_closes.load(Ordering::Relaxed) >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_exhaustion_queues_excess_clients() {
+        // 1 thread, 2 clients: the second client's request is only served
+        // after the first connection closes — thread binding in action.
+        let (server, _) = start(1, None);
+        let addr = server.addr();
+        let mut held = TcpStream::connect(addr).unwrap();
+        held.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(held, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let _ = held.read(&mut tmp).unwrap(); // thread now bound to `held`
+        let t = std::thread::spawn(move || get(addr, "/f/1"));
+        // Give the second client time to be stuck behind the bound thread.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(!t.is_finished(), "second client should be waiting");
+        drop(held); // closes the first connection, freeing the thread
+        let (status, _) = t.join().unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn conditional_get_returns_304() {
+        let (server, content) = start(2, None);
+        let lm = content.last_modified(workload::FileId(1));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(
+            s,
+            "GET /f/1 HTTP/1.1\r\nHost: t\r\nIf-Modified-Since: {lm}\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 304);
+        assert_eq!(head.content_length, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (server, _) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 400);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,22 @@
+//! `reactor` — real readiness selection for the live event-driven server.
+//!
+//! * [`sys`] — direct FFI to `epoll(7)` / `poll(2)` (no crate dependency;
+//!   `std` already links the C library);
+//! * [`selector`] — the level-triggered [`Selector`] abstraction with an
+//!   O(ready) epoll backend and an O(registered) poll backend, mirroring
+//!   the 2004-JVM-vs-modern-kernel distinction the paper's cost model
+//!   parameterises;
+//! * [`waker`] — a self-pipe `Selector.wakeup()` analogue for cross-thread
+//!   event-loop interruption.
+
+#[cfg(target_os = "linux")]
+pub mod selector;
+#[cfg(target_os = "linux")]
+pub mod sys;
+#[cfg(target_os = "linux")]
+pub mod waker;
+
+#[cfg(target_os = "linux")]
+pub use selector::{EpollSelector, Event, Interest, PollSelector, Selector, Token};
+#[cfg(target_os = "linux")]
+pub use waker::Waker;

@@ -1,0 +1,129 @@
+//! Event-driven (NIO-style) server bookkeeping.
+//!
+//! The architectural inverse of [`crate::threaded`]: connections are never
+//! bound to threads. A single acceptor thread drains the listen queue, and
+//! `workers` worker threads multiplex *all* established connections through
+//! readiness selection. The only admission limit is the listen backlog in
+//! front of the acceptor — and because accepting costs microseconds rather
+//! than a pool thread, that queue practically never fills.
+
+use netsim::ConnId;
+use std::collections::HashSet;
+
+/// Outcome of a SYN arriving at the event-driven server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// Queued for the acceptor thread; run the accept job.
+    Accept,
+    /// Listen queue overflow (requires pathological accept starvation).
+    Dropped,
+}
+
+/// Selector/acceptor state of the event-driven server.
+#[derive(Debug)]
+pub struct EventServer {
+    workers: usize,
+    backlog_cap: usize,
+    /// Connections waiting for the acceptor thread.
+    pending_accepts: usize,
+    /// Connections registered with the selector.
+    registered: HashSet<ConnId>,
+    /// Peak registered connections (reporting; the paper's point is that
+    /// this can be thousands with one worker thread).
+    pub peak_registered: usize,
+    pub syns_dropped: u64,
+}
+
+impl EventServer {
+    pub fn new(workers: usize, backlog_cap: usize) -> Self {
+        assert!(workers > 0);
+        EventServer {
+            workers,
+            backlog_cap,
+            pending_accepts: 0,
+            registered: HashSet::new(),
+            peak_registered: 0,
+            syns_dropped: 0,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Connections currently registered with the selector.
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// A SYN arrived.
+    pub fn on_syn(&mut self) -> AcceptOutcome {
+        if self.pending_accepts < self.backlog_cap {
+            self.pending_accepts += 1;
+            AcceptOutcome::Accept
+        } else {
+            self.syns_dropped += 1;
+            AcceptOutcome::Dropped
+        }
+    }
+
+    /// The acceptor finished accepting `conn`: register it.
+    pub fn on_accepted(&mut self, conn: ConnId) {
+        debug_assert!(self.pending_accepts > 0);
+        self.pending_accepts -= 1;
+        self.registered.insert(conn);
+        self.peak_registered = self.peak_registered.max(self.registered.len());
+    }
+
+    /// A registered connection closed (either side). Returns true if it was
+    /// registered.
+    pub fn deregister(&mut self, conn: ConnId) -> bool {
+        self.registered.remove(&conn)
+    }
+
+    /// An accept was abandoned before completing (client timed out while
+    /// the accept job was queued).
+    pub fn abandon_accept(&mut self) {
+        debug_assert!(self.pending_accepts > 0);
+        self.pending_accepts = self.pending_accepts.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_thousands_without_threads() {
+        let mut s = EventServer::new(1, 100_000);
+        for i in 0..5_000u64 {
+            assert_eq!(s.on_syn(), AcceptOutcome::Accept);
+            s.on_accepted(ConnId(i));
+        }
+        assert_eq!(s.registered_count(), 5_000);
+        assert_eq!(s.peak_registered, 5_000);
+        assert_eq!(s.workers(), 1);
+    }
+
+    #[test]
+    fn backlog_overflow_drops() {
+        let mut s = EventServer::new(2, 2);
+        assert_eq!(s.on_syn(), AcceptOutcome::Accept);
+        assert_eq!(s.on_syn(), AcceptOutcome::Accept);
+        assert_eq!(s.on_syn(), AcceptOutcome::Dropped);
+        assert_eq!(s.syns_dropped, 1);
+        // Draining an accept frees a slot.
+        s.on_accepted(ConnId(1));
+        assert_eq!(s.on_syn(), AcceptOutcome::Accept);
+    }
+
+    #[test]
+    fn deregister_is_idempotent() {
+        let mut s = EventServer::new(1, 10);
+        s.on_syn();
+        s.on_accepted(ConnId(1));
+        assert!(s.deregister(ConnId(1)));
+        assert!(!s.deregister(ConnId(1)));
+        assert_eq!(s.registered_count(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Threaded (Apache-worker-style) server bookkeeping.
+//!
+//! One thread is bound to one connection from accept until close — the
+//! architectural property every httpd2 phenomenon in the paper flows from:
+//! pool exhaustion once concurrent clients exceed the pool, backlog queues
+//! and SYN drops beyond that, and the 15 s idle timeout (threads must be
+//! reclaimed from idle clients) that produces connection-reset errors.
+
+use netsim::ConnId;
+use std::collections::VecDeque;
+
+/// Outcome of a SYN arriving at the threaded server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynOutcome {
+    /// A thread was free and is now bound; run the accept job.
+    AcceptNow,
+    /// All threads busy; the connection waits in the backlog.
+    Queued,
+    /// Backlog full; the SYN is dropped (client will retransmit).
+    Dropped,
+}
+
+/// Pool and backlog state of the threaded server.
+#[derive(Debug)]
+pub struct ThreadedServer {
+    pool_size: usize,
+    in_use: usize,
+    backlog_cap: usize,
+    backlog: VecDeque<ConnId>,
+    /// Peak simultaneous bound threads (reporting).
+    pub peak_in_use: usize,
+    /// SYNs dropped due to backlog overflow (reporting).
+    pub syns_dropped: u64,
+}
+
+impl ThreadedServer {
+    pub fn new(pool_size: usize, backlog_cap: usize) -> Self {
+        assert!(pool_size > 0);
+        ThreadedServer {
+            pool_size,
+            in_use: 0,
+            backlog_cap,
+            backlog: VecDeque::new(),
+            peak_in_use: 0,
+            syns_dropped: 0,
+        }
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    pub fn threads_in_use(&self) -> usize {
+        self.in_use
+    }
+
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// A SYN arrived for `conn`.
+    pub fn on_syn(&mut self, conn: ConnId) -> SynOutcome {
+        if self.in_use < self.pool_size {
+            self.bind();
+            SynOutcome::AcceptNow
+        } else if self.backlog.len() < self.backlog_cap {
+            self.backlog.push_back(conn);
+            SynOutcome::Queued
+        } else {
+            self.syns_dropped += 1;
+            SynOutcome::Dropped
+        }
+    }
+
+    fn bind(&mut self) {
+        self.in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+    }
+
+    /// The thread bound to a connection is released (connection closed or
+    /// aborted). Returns the next backlogged connection to bind, if any —
+    /// the caller must validate it is still alive and either run its accept
+    /// job or call [`ThreadedServer::release`] again to skip it.
+    #[must_use]
+    pub fn release(&mut self) -> Option<ConnId> {
+        debug_assert!(self.in_use > 0, "release with no bound threads");
+        self.in_use -= 1;
+        let next = self.backlog.pop_front();
+        if next.is_some() {
+            self.bind();
+        }
+        next
+    }
+
+    /// Remove a connection from the backlog (client gave up while queued).
+    /// Returns true if it was present.
+    pub fn remove_from_backlog(&mut self, conn: ConnId) -> bool {
+        if let Some(pos) = self.backlog.iter().position(|&c| c == conn) {
+            self.backlog.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> ConnId {
+        ConnId(n)
+    }
+
+    #[test]
+    fn accepts_until_pool_exhausted() {
+        let mut s = ThreadedServer::new(2, 10);
+        assert_eq!(s.on_syn(c(1)), SynOutcome::AcceptNow);
+        assert_eq!(s.on_syn(c(2)), SynOutcome::AcceptNow);
+        assert_eq!(s.on_syn(c(3)), SynOutcome::Queued);
+        assert_eq!(s.threads_in_use(), 2);
+        assert_eq!(s.backlog_len(), 1);
+        assert_eq!(s.peak_in_use, 2);
+    }
+
+    #[test]
+    fn drops_when_backlog_full() {
+        let mut s = ThreadedServer::new(1, 2);
+        s.on_syn(c(1));
+        s.on_syn(c(2));
+        s.on_syn(c(3));
+        assert_eq!(s.on_syn(c(4)), SynOutcome::Dropped);
+        assert_eq!(s.syns_dropped, 1);
+    }
+
+    #[test]
+    fn release_hands_thread_to_backlog_head() {
+        let mut s = ThreadedServer::new(1, 4);
+        s.on_syn(c(1));
+        s.on_syn(c(2));
+        s.on_syn(c(3));
+        assert_eq!(s.release(), Some(c(2)));
+        // Thread count unchanged: released and immediately re-bound.
+        assert_eq!(s.threads_in_use(), 1);
+        assert_eq!(s.release(), Some(c(3)));
+        assert_eq!(s.release(), None);
+        assert_eq!(s.threads_in_use(), 0);
+    }
+
+    #[test]
+    fn backlog_removal() {
+        let mut s = ThreadedServer::new(1, 4);
+        s.on_syn(c(1));
+        s.on_syn(c(2));
+        s.on_syn(c(3));
+        assert!(s.remove_from_backlog(c(2)));
+        assert!(!s.remove_from_backlog(c(2)));
+        assert_eq!(s.release(), Some(c(3)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Failure injection: link outages, client churn under pathological
+//! configurations, and recovery behaviour.
+
+use desim::SimDuration;
+use netsim::LinkConfig;
+use serversim::{run, RunResult, ServerArch, TestbedConfig};
+
+fn base(server: ServerArch, clients: u32) -> TestbedConfig {
+    let link = LinkConfig::from_mbit(1000.0, SimDuration::from_micros(100));
+    let mut cfg = TestbedConfig::paper_default(server, 1, link);
+    cfg.num_clients = clients;
+    cfg.duration = SimDuration::from_secs(40);
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.ramp = SimDuration::from_secs(2);
+    cfg
+}
+
+fn execute(cfg: TestbedConfig) -> (RunResult, Vec<f64>) {
+    let secs = cfg.duration.as_secs_f64();
+    let tb = run(cfg.clone());
+    let rates = tb.metrics.replies.rates_per_sec();
+    (RunResult::from_testbed(&cfg, &tb, secs), rates)
+}
+
+#[test]
+fn link_outage_causes_timeouts_and_recovery() {
+    let mut cfg = base(ServerArch::EventDriven { workers: 1 }, 200);
+    // Link dark from t=15 s to t=27 s — longer than the 10 s client timeout
+    // so every in-flight transfer dies.
+    cfg.link_outages = vec![(0, SimDuration::from_secs(15), SimDuration::from_secs(12))];
+    let (result, rates) = execute(cfg.clone());
+
+    // Timeouts occurred (the healthy baseline below has none at this load).
+    assert!(
+        result.errors.client_timeout > 50,
+        "expected a timeout storm, got {:?}",
+        result.errors
+    );
+
+    // Throughput collapsed during the outage...
+    let during: f64 = rates[17..26].iter().sum::<f64>() / 9.0;
+    let before: f64 = rates[8..14].iter().sum::<f64>() / 6.0;
+    assert!(
+        during < before * 0.2,
+        "outage should gut throughput: before {before:.0}, during {during:.0}"
+    );
+
+    // ... and recovered after it.
+    let after: f64 = rates[30..38].iter().sum::<f64>() / 8.0;
+    assert!(
+        after > before * 0.7,
+        "throughput must recover: before {before:.0}, after {after:.0}"
+    );
+
+    // Control: the same run with no outage has no timeouts.
+    let mut healthy = base(ServerArch::EventDriven { workers: 1 }, 200);
+    healthy.seed = cfg.seed;
+    let (hr, _) = execute(healthy);
+    assert_eq!(hr.errors.client_timeout, 0);
+}
+
+#[test]
+fn outage_on_one_of_two_links_spares_the_other() {
+    let link = LinkConfig::from_mbit(100.0, SimDuration::from_micros(100));
+    let mut cfg = base(ServerArch::EventDriven { workers: 1 }, 200);
+    cfg.links = vec![link, link];
+    cfg.link_outages = vec![(0, SimDuration::from_secs(15), SimDuration::from_secs(12))];
+    let (result, rates) = execute(cfg);
+    // Clients are split round-robin: half keep flowing, so mid-outage
+    // throughput sits near half the pre-outage rate rather than zero.
+    let before: f64 = rates[8..14].iter().sum::<f64>() / 6.0;
+    let during: f64 = rates[17..26].iter().sum::<f64>() / 9.0;
+    assert!(
+        during > before * 0.25 && during < before * 0.75,
+        "one dark link of two: before {before:.0}, during {during:.0}"
+    );
+    assert!(result.errors.client_timeout > 0);
+}
+
+#[test]
+fn threaded_server_survives_outage_with_thread_reclamation() {
+    // During the outage every bound thread is stuck in a dead transfer;
+    // afterwards the pool must be serving normally again (no leaked
+    // threads).
+    let mut cfg = base(ServerArch::Threaded { pool: 256 }, 200);
+    cfg.link_outages = vec![(0, SimDuration::from_secs(15), SimDuration::from_secs(12))];
+    let secs = cfg.duration.as_secs_f64();
+    let tb = run(cfg.clone());
+    let rates = tb.metrics.replies.rates_per_sec();
+    let result = RunResult::from_testbed(&cfg, &tb, secs);
+    let before: f64 = rates[8..14].iter().sum::<f64>() / 6.0;
+    let after: f64 = rates[32..39].iter().sum::<f64>() / 7.0;
+    assert!(
+        after > before * 0.6,
+        "pool must recover: before {before:.0}, after {after:.0}"
+    );
+    // All threads eventually released: currently bound ≤ live clients.
+    let bound = tb.threaded().unwrap().threads_in_use();
+    assert!(
+        bound <= 200,
+        "thread accounting leaked: {bound} bound for 200 clients"
+    );
+    assert!(result.errors.client_timeout > 0);
+}

@@ -1,0 +1,189 @@
+//! Targeted scenario tests: exercise specific mechanisms of the testbed
+//! (backlog drops, selector registration, idle-timeout reclamation, stall
+//! injection, latency accounting) and verify their observable effects.
+
+use desim::SimDuration;
+use netsim::LinkConfig;
+use serversim::{run, RunResult, ServerArch, TestbedConfig};
+
+fn gbit(latency_us: u64) -> LinkConfig {
+    LinkConfig::from_mbit(1000.0, SimDuration::from_micros(latency_us))
+}
+
+fn cfg(server: ServerArch, clients: u32) -> TestbedConfig {
+    let mut cfg = TestbedConfig::paper_default(server, 1, gbit(100));
+    cfg.num_clients = clients;
+    cfg.duration = SimDuration::from_secs(25);
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.ramp = SimDuration::from_secs(1);
+    cfg
+}
+
+fn result(c: &TestbedConfig) -> (RunResult, serversim::Testbed) {
+    let secs = c.duration.as_secs_f64();
+    let tb = run(c.clone());
+    (RunResult::from_testbed(c, &tb, secs), tb)
+}
+
+#[test]
+fn tiny_backlog_drops_syns_and_clients_retry_through() {
+    let mut c = cfg(ServerArch::Threaded { pool: 4 }, 120);
+    c.backlog = 2;
+    let (r, tb) = result(&c);
+    let t = tb.threaded().unwrap();
+    assert!(
+        t.syns_dropped > 10,
+        "a 4-thread/2-backlog server under 120 clients must drop SYNs: {}",
+        t.syns_dropped
+    );
+    // Some clients still get served — retries work.
+    assert!(r.throughput_rps > 1.0, "throughput {}", r.throughput_rps);
+    // And the misery shows up in connection time and timeouts.
+    assert!(
+        r.mean_connect_ms > 100.0 || r.errors.client_timeout > 0,
+        "drops must be user-visible: connect {} ms, timeouts {}",
+        r.mean_connect_ms,
+        r.errors.client_timeout
+    );
+}
+
+#[test]
+fn event_server_registers_every_connected_client() {
+    let (_, tb) = result(&cfg(ServerArch::EventDriven { workers: 1 }, 150));
+    let es = tb.event_server().unwrap();
+    // Every client holds a persistent connection through its session, so
+    // the selector's peak registration approaches the population.
+    assert!(
+        es.peak_registered >= 120,
+        "peak registered {} for 150 clients",
+        es.peak_registered
+    );
+    assert_eq!(es.syns_dropped, 0, "acceptor must keep up at this load");
+}
+
+#[test]
+fn idle_timeout_reclaims_threads_between_sessions() {
+    // Pool smaller than population + 2 s idle timeout: resets free threads
+    // for waiting clients, so throughput beats the no-timeout variant where
+    // thinking clients starve the backlog forever.
+    let mut with_timeout = cfg(ServerArch::Threaded { pool: 40 }, 200);
+    with_timeout.server_idle_timeout = Some(SimDuration::from_secs(2));
+    let (r_with, _) = result(&with_timeout);
+
+    let mut without = cfg(ServerArch::Threaded { pool: 40 }, 200);
+    without.server_idle_timeout = None;
+    let (r_without, _) = result(&without);
+
+    assert!(
+        r_with.throughput_rps > r_without.throughput_rps * 1.2,
+        "idle reclamation must raise throughput: {} vs {}",
+        r_with.throughput_rps,
+        r_without.throughput_rps
+    );
+    assert!(r_with.errors.connection_reset > 0);
+    // This is the paper's whole trade-off: the policy that keeps a small
+    // pool alive is the same policy that resets thinking clients.
+    assert_eq!(r_without.errors.connection_reset, 0);
+}
+
+#[test]
+fn stall_injection_raises_throughput_variance() {
+    let mut stalled = cfg(ServerArch::Threaded { pool: 6000 }, 600);
+    stalled.stall_threshold = 5000; // active
+    let (r_stalled, _) = result(&stalled);
+
+    let mut calm = cfg(ServerArch::Threaded { pool: 6000 }, 600);
+    calm.stall_threshold = usize::MAX; // disabled
+    let (r_calm, _) = result(&calm);
+
+    assert!(
+        r_stalled.stability_cv > r_calm.stability_cv * 1.3,
+        "stalls must be visible in the CV: {} vs {}",
+        r_stalled.stability_cv,
+        r_calm.stability_cv
+    );
+}
+
+#[test]
+fn connection_time_tracks_link_latency() {
+    // At trivial load the connect time is handshake-dominated: ~2×latency
+    // plus microseconds of accept service.
+    let run_with = |lat_us: u64| {
+        let mut c = cfg(ServerArch::EventDriven { workers: 1 }, 20);
+        c.links = vec![gbit(lat_us)];
+        result(&c).0.mean_connect_ms
+    };
+    let fast = run_with(100); // 0.2 ms RTT
+    let slow = run_with(5_000); // 10 ms RTT
+    assert!(
+        (slow - fast) > 8.0,
+        "latency must dominate connect time: {fast} ms vs {slow} ms"
+    );
+    assert!(slow < 15.0, "no queueing at 20 clients: {slow} ms");
+}
+
+#[test]
+fn cpu_utilisation_is_a_fraction_and_tracks_load() {
+    let (light, _) = result(&cfg(ServerArch::EventDriven { workers: 1 }, 50));
+    let (heavy, _) = result(&cfg(ServerArch::EventDriven { workers: 1 }, 2000));
+    assert!(light.cpu_utilisation > 0.0 && light.cpu_utilisation <= 1.0);
+    assert!(heavy.cpu_utilisation > 0.0 && heavy.cpu_utilisation <= 1.0);
+    assert!(
+        heavy.cpu_utilisation > light.cpu_utilisation * 3.0,
+        "utilisation must track load: {} vs {}",
+        light.cpu_utilisation,
+        heavy.cpu_utilisation
+    );
+}
+
+#[test]
+fn two_links_split_traffic_evenly() {
+    let mut c = cfg(ServerArch::EventDriven { workers: 1 }, 200);
+    c.links = vec![
+        LinkConfig::from_mbit(100.0, SimDuration::from_micros(100)),
+        LinkConfig::from_mbit(100.0, SimDuration::from_micros(100)),
+    ];
+    let secs = c.duration.as_secs_f64();
+    let tb = run(c.clone());
+    let r = RunResult::from_testbed(&c, &tb, secs);
+    // Round-robin assignment: even/odd client ids ⇒ near-equal byte split.
+    assert!(r.throughput_rps > 10.0);
+    // Delivered bandwidth should be well under a single link's cap at this
+    // load but spread over both (total sanity only — per-link split is
+    // checked via the aggregate being ≤ 2×12.5).
+    assert!(r.bandwidth_mb_s < 25.5);
+}
+
+#[test]
+#[should_panic(expected = "invalid testbed configuration")]
+fn invalid_config_is_rejected_at_run() {
+    let mut c = cfg(ServerArch::EventDriven { workers: 1 }, 10);
+    c.warmup = c.duration; // contradiction
+    let _ = run(c);
+}
+
+#[test]
+fn trace_captures_idle_closes_and_timeouts() {
+    let mut c = cfg(ServerArch::Threaded { pool: 256 }, 200);
+    c.trace_capacity = 10_000;
+    c.server_idle_timeout = Some(SimDuration::from_secs(2));
+    let tb = run(c);
+    let rendered = tb.trace.render();
+    assert!(
+        rendered.contains("opens conn"),
+        "trace should record connection opens"
+    );
+    assert!(
+        rendered.contains("idle-closes"),
+        "trace should record server idle closes:\n{}",
+        &rendered[..rendered.len().min(500)]
+    );
+}
+
+#[test]
+fn trace_disabled_by_default_costs_nothing() {
+    let c = cfg(ServerArch::EventDriven { workers: 1 }, 50);
+    assert_eq!(c.trace_capacity, 0);
+    let tb = run(c);
+    assert_eq!(tb.trace.records().count(), 0);
+}

@@ -1,0 +1,14 @@
+//! Print the workload model's calibration quantities (used when tuning the
+//! cost model against the paper's peaks).
+use workload::{Distribution, FileSet, SessionConfig, SurgeConfig};
+
+fn main() {
+    let mut rng = desim::Rng::new(42);
+    let fs = FileSet::build(&SurgeConfig::default(), &mut rng);
+    println!("mean_request_bytes = {:.0}", fs.mean_request_bytes());
+    println!("mean_file_bytes    = {:.0}", fs.mean_file_bytes());
+    let cfg = SessionConfig::default();
+    println!("p(think>15s)       = {:.4}", cfg.think_exceeds_prob(15.0));
+    let think = workload::BoundedPareto::new(cfg.think_k_secs, cfg.think_cap_secs, cfg.think_alpha);
+    println!("mean think         = {:.2}s", think.mean().unwrap());
+}

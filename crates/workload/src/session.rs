@@ -1,0 +1,227 @@
+//! Httperf session structure.
+//!
+//! The paper configures Httperf so "each connected client produc\[es\] an
+//! average of 6.5 requests grouped in a session" over a persistent
+//! connection, "some of them pipelined", alternating *activity periods* and
+//! *think time periods*. This module turns those knobs into a concrete
+//! [`SessionPlan`]: a sequence of bursts (a page plus its embedded objects,
+//! pipelined) separated by heavy-tailed think times.
+//!
+//! The think-time tail is the engine behind the paper's figure 3(b): with a
+//! bounded-Pareto think time, a predictable fraction of gaps exceed the
+//! threaded server's 15 s idle timeout, each producing one connection-reset
+//! error — which is why httpd2's reset rate grows linearly with client count
+//! while the event-driven server's stays at zero.
+
+use crate::dist::{BoundedPareto, Distribution};
+use crate::surge::{FileId, FileSet};
+use desim::{Rng, SimDuration};
+
+/// Session-shape parameters (httperf's `--wsess`/`--burst-len` analogue).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Mean requests per session. Paper: 6.5.
+    pub mean_requests: f64,
+    /// Embedded objects per page follow Pareto(k=1, α): SURGE fits α=2.43.
+    /// A burst is one page plus its embedded objects, pipelined.
+    pub embedded_alpha: f64,
+    /// Cap on objects per burst (browsers cap concurrent object fetches).
+    pub max_burst: usize,
+    /// Think (inactive OFF) time between bursts: bounded Pareto in seconds.
+    /// SURGE fits α≈1.4–1.5 with k around 1 s.
+    pub think_k_secs: f64,
+    pub think_alpha: f64,
+    pub think_cap_secs: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            mean_requests: 6.5,
+            embedded_alpha: 2.43,
+            max_burst: 8,
+            think_k_secs: 0.5,
+            think_alpha: 1.35,
+            think_cap_secs: 100.0,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Probability that a single think-time draw exceeds `t` seconds —
+    /// closed form for the bounded Pareto; used by experiments to predict
+    /// the reset-error rate of a threaded server with idle timeout `t`.
+    pub fn think_exceeds_prob(&self, t_secs: f64) -> f64 {
+        if t_secs <= self.think_k_secs {
+            return 1.0;
+        }
+        if t_secs >= self.think_cap_secs {
+            return 0.0;
+        }
+        let a = self.think_alpha;
+        let kc = (self.think_k_secs / self.think_cap_secs).powf(a);
+        let kx = (self.think_k_secs / t_secs).powf(a);
+        // Truncated-Pareto survival: (kx - kc) / (1 - kc)
+        (kx - kc) / (1.0 - kc)
+    }
+}
+
+/// One burst: `files` requested back-to-back on the connection (pipelined
+/// after the first), preceded by `think_before`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Burst {
+    pub think_before: SimDuration,
+    pub files: Vec<FileId>,
+}
+
+/// A fully materialised session: what one emulated client will do on one
+/// persistent connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionPlan {
+    pub bursts: Vec<Burst>,
+}
+
+impl SessionPlan {
+    /// Generate a session: draw the request budget (geometric with the
+    /// configured mean, minimum 1), chop it into bursts sized by the
+    /// embedded-object law, pick targets by popularity, and attach think
+    /// times before every burst after the first.
+    pub fn generate(cfg: &SessionConfig, files: &FileSet, rng: &mut Rng) -> SessionPlan {
+        assert!(cfg.mean_requests >= 1.0);
+        // Geometric on {1, 2, ...} with success probability 1/mean has mean
+        // `mean_requests` exactly.
+        let p = 1.0 / cfg.mean_requests;
+        let mut budget = 1usize;
+        while !rng.chance(p) && budget < 10_000 {
+            budget += 1;
+        }
+
+        let think = BoundedPareto::new(cfg.think_k_secs, cfg.think_cap_secs, cfg.think_alpha);
+        let embedded = crate::dist::Pareto::new(1.0, cfg.embedded_alpha);
+
+        let mut bursts = Vec::new();
+        let mut remaining = budget;
+        while remaining > 0 {
+            let want = (embedded.sample(rng).round() as usize)
+                .clamp(1, cfg.max_burst)
+                .min(remaining);
+            let files_in_burst: Vec<FileId> = (0..want).map(|_| files.sample(rng)).collect();
+            let think_before = if bursts.is_empty() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_secs_f64(think.sample(rng))
+            };
+            bursts.push(Burst {
+                think_before,
+                files: files_in_burst,
+            });
+            remaining -= want;
+        }
+        SessionPlan { bursts }
+    }
+
+    /// Total requests across all bursts.
+    pub fn total_requests(&self) -> usize {
+        self.bursts.iter().map(|b| b.files.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surge::SurgeConfig;
+
+    fn fixture() -> (SessionConfig, FileSet, Rng) {
+        let mut rng = Rng::new(1234);
+        let fs = FileSet::build(&SurgeConfig::default(), &mut rng);
+        (SessionConfig::default(), fs, rng)
+    }
+
+    #[test]
+    fn sessions_have_at_least_one_request() {
+        let (cfg, fs, mut rng) = fixture();
+        for _ in 0..1000 {
+            let plan = SessionPlan::generate(&cfg, &fs, &mut rng);
+            assert!(plan.total_requests() >= 1);
+            assert!(!plan.bursts.is_empty());
+            assert!(plan.bursts.iter().all(|b| !b.files.is_empty()));
+        }
+    }
+
+    #[test]
+    fn mean_requests_close_to_config() {
+        let (cfg, fs, mut rng) = fixture();
+        let n = 20_000;
+        let total: usize = (0..n)
+            .map(|_| SessionPlan::generate(&cfg, &fs, &mut rng).total_requests())
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - cfg.mean_requests).abs() < 0.15,
+            "mean session length {mean}"
+        );
+    }
+
+    #[test]
+    fn first_burst_has_no_think_time() {
+        let (cfg, fs, mut rng) = fixture();
+        for _ in 0..100 {
+            let plan = SessionPlan::generate(&cfg, &fs, &mut rng);
+            assert_eq!(plan.bursts[0].think_before, SimDuration::ZERO);
+            for b in &plan.bursts[1..] {
+                assert!(b.think_before >= SimDuration::from_secs_f64(cfg.think_k_secs));
+            }
+        }
+    }
+
+    #[test]
+    fn burst_sizes_respect_cap() {
+        let (cfg, fs, mut rng) = fixture();
+        for _ in 0..500 {
+            let plan = SessionPlan::generate(&cfg, &fs, &mut rng);
+            for b in &plan.bursts {
+                assert!(b.files.len() <= cfg.max_burst);
+            }
+        }
+    }
+
+    #[test]
+    fn think_exceeds_prob_matches_samples() {
+        let cfg = SessionConfig::default();
+        let predicted = cfg.think_exceeds_prob(15.0);
+        let think = BoundedPareto::new(cfg.think_k_secs, cfg.think_cap_secs, cfg.think_alpha);
+        let mut rng = Rng::new(9);
+        let n = 200_000;
+        let over = (0..n).filter(|_| think.sample(&mut rng) > 15.0).count();
+        let observed = over as f64 / n as f64;
+        assert!(
+            (observed - predicted).abs() < 0.005,
+            "predicted {predicted}, observed {observed}"
+        );
+        // And the headline number: a measurable few percent of thinks beat a
+        // 15 s server timeout — the fuel for figure 3(b).
+        assert!(predicted > 0.005 && predicted < 0.10, "p = {predicted}");
+    }
+
+    #[test]
+    fn think_exceeds_prob_edges() {
+        let cfg = SessionConfig::default();
+        assert_eq!(cfg.think_exceeds_prob(0.5), 1.0);
+        assert_eq!(cfg.think_exceeds_prob(1e9), 0.0);
+        let p_mid = cfg.think_exceeds_prob(10.0);
+        let p_far = cfg.think_exceeds_prob(50.0);
+        assert!(p_mid > p_far && p_far > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut rng_a = Rng::new(77);
+        let fs_a = FileSet::build(&SurgeConfig::default(), &mut rng_a);
+        let mut rng_b = Rng::new(77);
+        let fs_b = FileSet::build(&SurgeConfig::default(), &mut rng_b);
+        let cfg = SessionConfig::default();
+        let a = SessionPlan::generate(&cfg, &fs_a, &mut rng_a);
+        let b = SessionPlan::generate(&cfg, &fs_b, &mut rng_b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the workload distributions: support bounds, CDF
+//! consistency, determinism, and session-structure invariants.
+
+use desim::Rng;
+use proptest::prelude::*;
+use workload::{
+    BoundedPareto, Distribution, Exponential, FileSet, LogNormal, Pareto, SessionConfig,
+    SessionPlan, SurgeConfig, Uniform, Weibull, Zipf,
+};
+
+proptest! {
+    /// Every sampler stays inside its mathematical support for arbitrary
+    /// valid parameters and seeds.
+    #[test]
+    fn supports_are_respected(seed in any::<u64>(),
+                              k in 0.1f64..100.0,
+                              alpha in 0.2f64..5.0,
+                              span in 1.5f64..1000.0) {
+        let mut rng = Rng::new(seed);
+        let pareto = Pareto::new(k, alpha);
+        let bounded = BoundedPareto::new(k, k * span, alpha);
+        let uni = Uniform::new(k, k * span);
+        let exp = Exponential::with_mean(k);
+        let wei = Weibull::new(alpha, k);
+        let logn = LogNormal::new(0.0, 1.0);
+        for _ in 0..100 {
+            prop_assert!(pareto.sample(&mut rng) >= k);
+            let b = bounded.sample(&mut rng);
+            prop_assert!(b >= k && b <= k * span * 1.0000001, "bounded {b}");
+            let u = uni.sample(&mut rng);
+            prop_assert!(u >= k && u < k * span);
+            prop_assert!(exp.sample(&mut rng) >= 0.0);
+            prop_assert!(wei.sample(&mut rng) >= 0.0);
+            prop_assert!(logn.sample(&mut rng) > 0.0);
+        }
+    }
+
+    /// Zipf pmf sums to 1 and is non-increasing in rank.
+    #[test]
+    fn zipf_pmf_valid(n in 1usize..500, s in 0.1f64..2.5) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12,
+                "pmf not monotone at rank {r}");
+        }
+    }
+
+    /// Same seed ⇒ same sample stream, different seed ⇒ different stream
+    /// (for continuous distributions, collision probability ~0).
+    #[test]
+    fn samplers_deterministic(seed in any::<u64>()) {
+        let d = BoundedPareto::new(1.0, 100.0, 1.4);
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+        let mut c = Rng::new(seed.wrapping_add(1));
+        let mut a2 = Rng::new(seed);
+        let same = (0..32).filter(|_| d.sample(&mut a2) == d.sample(&mut c)).count();
+        prop_assert!(same < 4);
+    }
+
+    /// Sessions: every generated plan has ≥1 request, bursts within the
+    /// cap, zero think before the first burst, all targets valid.
+    #[test]
+    fn session_plans_are_well_formed(seed in any::<u64>(), mean_req in 1.0f64..20.0, max_burst in 1usize..12) {
+        let mut rng = Rng::new(seed);
+        let files = FileSet::build(&SurgeConfig { num_files: 100, ..SurgeConfig::default() }, &mut rng);
+        let cfg = SessionConfig {
+            mean_requests: mean_req,
+            max_burst,
+            ..SessionConfig::default()
+        };
+        for _ in 0..20 {
+            let plan = SessionPlan::generate(&cfg, &files, &mut rng);
+            prop_assert!(plan.total_requests() >= 1);
+            prop_assert_eq!(plan.bursts[0].think_before, desim::SimDuration::ZERO);
+            for b in &plan.bursts {
+                prop_assert!(!b.files.is_empty());
+                prop_assert!(b.files.len() <= max_burst);
+                for f in &b.files {
+                    prop_assert!((f.0 as usize) < files.len());
+                }
+            }
+        }
+    }
+
+    /// File sets: sizes within [min_bytes, tail_cap]; request-byte mean is
+    /// a convex combination of sizes (between min and max size).
+    #[test]
+    fn fileset_invariants(seed in any::<u64>(), nfiles in 1usize..400, zipf_s in 0.1f64..2.0) {
+        let cfg = SurgeConfig { num_files: nfiles, zipf_s, ..SurgeConfig::default() };
+        let mut rng = Rng::new(seed);
+        let fs = FileSet::build(&cfg, &mut rng);
+        prop_assert_eq!(fs.len(), nfiles);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for (_, s) in fs.iter() {
+            prop_assert!(s >= cfg.min_bytes);
+            prop_assert!(s as f64 <= cfg.tail_cap + 1.0);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let m = fs.mean_request_bytes();
+        prop_assert!(m >= lo as f64 - 1.0 && m <= hi as f64 + 1.0,
+            "weighted mean {m} outside [{lo}, {hi}]");
+    }
+
+    /// The truncated-Pareto survival function matches empirical sampling at
+    /// arbitrary thresholds (generalises the fixed-threshold unit test).
+    #[test]
+    fn think_tail_survival_matches(alpha in 1.05f64..2.0, t in 1.0f64..90.0) {
+        let cfg = SessionConfig {
+            think_k_secs: 0.5,
+            think_alpha: alpha,
+            think_cap_secs: 100.0,
+            ..SessionConfig::default()
+        };
+        let predicted = cfg.think_exceeds_prob(t);
+        let d = BoundedPareto::new(0.5, 100.0, alpha);
+        let mut rng = Rng::new(42);
+        let n = 60_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > t).count();
+        let observed = over as f64 / n as f64;
+        prop_assert!((observed - predicted).abs() < 0.012,
+            "alpha {alpha}, t {t}: predicted {predicted}, observed {observed}");
+    }
+}

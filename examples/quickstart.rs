@@ -1,0 +1,55 @@
+//! Quickstart: simulate the paper's core comparison at laptop scale.
+//!
+//! Runs the event-driven server (1 worker thread) and the threaded server
+//! (1024-thread pool) against the same 600-client SURGE workload on a
+//! uniprocessor with a 1 Gbit link, then prints the httperf-style summary
+//! for each — the numbers behind figures 1–4.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eventscale::prelude::*;
+use metrics::{fnum, Align, Table};
+
+fn main() {
+    let link = LinkConfig::from_mbit(1000.0, SimDuration::from_micros(100));
+    let scenarios = [
+        ServerArch::EventDriven { workers: 1 },
+        ServerArch::Threaded { pool: 1024 },
+    ];
+
+    let mut table = Table::new(&[
+        ("server", Align::Left),
+        ("replies/s", Align::Right),
+        ("response ms", Align::Right),
+        ("connect ms", Align::Right),
+        ("timeouts/s", Align::Right),
+        ("resets/s", Align::Right),
+        ("cpu util", Align::Right),
+    ]);
+
+    for server in scenarios {
+        let mut cfg = TestbedConfig::paper_default(server, 1, link);
+        cfg.num_clients = 600;
+        cfg.duration = SimDuration::from_secs(30);
+        cfg.warmup = SimDuration::from_secs(8);
+        let r = run_experiment(cfg);
+        table.row(vec![
+            r.label.clone(),
+            fnum(r.throughput_rps, 0),
+            fnum(r.mean_response_ms, 2),
+            fnum(r.mean_connect_ms, 2),
+            fnum(r.client_timeout_per_s, 2),
+            fnum(r.conn_reset_per_s, 2),
+            fnum(r.cpu_utilisation, 2),
+        ]);
+    }
+
+    println!("600 concurrent SURGE clients, 1 CPU, 1 Gbit link, 30 s:");
+    println!();
+    println!("{}", table.render());
+    println!(
+        "The event-driven server matches the 1024-thread pool with a single\n\
+         worker thread — and produces zero connection resets, because it\n\
+         never needs to disconnect idle clients to reclaim a thread."
+    );
+}
