@@ -60,7 +60,7 @@ fn link_benches(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             for i in 0..1000u64 {
                 link.start_flow(now, FlowId(i), 12_000.0);
-                now = now + SimDuration::from_micros(50);
+                now += SimDuration::from_micros(50);
                 if i % 3 == 0 {
                     if let Some((t, _)) = link.next_completion(now) {
                         if t <= now {

@@ -6,6 +6,9 @@
 //!   repro all --quick         # reduced scale (seconds, for CI)
 //!   repro all --json out.json # also dump machine-readable results
 //!   repro all --csv out.csv   # ... or a flat CSV
+//!   repro observe fig2b       # re-run one point with full observability
+//!                             # and explain why the curve bends there
+//!                             # (--json dumps the capture as JSONL)
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -21,12 +24,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut observe_mode = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "observe" => observe_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -57,7 +62,9 @@ fn main() {
                 std::process::exit(0);
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro [all | ext | everything | fig1a ...] [--quick] [--json PATH]");
+                eprintln!(
+                    "usage: repro [observe] [all | ext | everything | fig1a ...] [--quick] [--json PATH]"
+                );
                 std::process::exit(0);
             }
             "all" => ids.extend(ALL_FIGURE_IDS.iter().map(|s| s.to_string())),
@@ -79,6 +86,26 @@ fn main() {
     ids.dedup();
 
     let scale = if quick { Scale::quick() } else { Scale::paper() };
+    if observe_mode {
+        let mut jsonl = String::new();
+        for id in &ids {
+            let start = std::time::Instant::now();
+            let Some(obs) = experiments::observe(id, &scale) else {
+                eprintln!("no observe mapping for '{id}' (see `repro list`)");
+                std::process::exit(2);
+            };
+            println!("{}", obs.render());
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+            if json_path.is_some() {
+                jsonl.push_str(&obs.to_jsonl());
+            }
+        }
+        if let Some(path) = json_path {
+            std::fs::write(&path, jsonl).expect("write jsonl output");
+            println!("wrote {path}");
+        }
+        return;
+    }
     let mut campaign = Campaign::new(scale);
     let mut json_figs = Vec::new();
     let mut csv_out = String::new();

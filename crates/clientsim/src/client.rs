@@ -140,6 +140,13 @@ impl Client {
         self.outstanding.len()
     }
 
+    /// When the in-progress connect attempt started, while connecting.
+    /// This is the anchor `ClientMetrics::record_connect` measures from, so
+    /// observability spans built on it agree with the figure-4 metric.
+    pub fn connecting_since(&self) -> Option<SimTime> {
+        self.connect_started
+    }
+
     fn fresh_session(&mut self, files: &FileSet) {
         self.plan = SessionPlan::generate(&self.cfg.session, files, &mut self.rng);
         self.burst_idx = 0;

@@ -48,7 +48,7 @@ proptest! {
         let mut connected = false;
 
         for &mv in &moves {
-            now = now + SimDuration::from_millis(37);
+            now += SimDuration::from_millis(37);
             let adversary = match mv % 3 {
                 0 => Adversary::Proceed,
                 1 => Adversary::Timeout,
@@ -141,22 +141,22 @@ proptest! {
                 ClientAction::SendBurst(reqs) => {
                     let mut next = None;
                     for _ in 0..reqs.len() {
-                        now = now + SimDuration::from_millis(5);
+                        now += SimDuration::from_millis(5);
                         next = c.on_reply(now, 500, &files, &mut m);
                         replies += 1;
                     }
                     action = next.expect("burst end yields an action");
                 }
                 ClientAction::Think(_) => {
-                    now = now + SimDuration::from_secs(2);
+                    now += SimDuration::from_secs(2);
                     action = c.on_think_done(now, &mut m);
                 }
                 ClientAction::CloseThenConnect | ClientAction::Connect => {
-                    now = now + SimDuration::from_millis(1);
+                    now += SimDuration::from_millis(1);
                     action = c.on_connected(now, &mut m);
                 }
                 ClientAction::ConnectAfter(_) => {
-                    now = now + SimDuration::from_secs(1);
+                    now += SimDuration::from_secs(1);
                     action = c.on_connected(now, &mut m);
                 }
             }

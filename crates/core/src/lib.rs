@@ -57,6 +57,7 @@ pub use httpcore;
 pub use loadgen;
 pub use metrics;
 pub use netsim;
+pub use obs;
 #[cfg(target_os = "linux")]
 pub use nioserver;
 #[cfg(target_os = "linux")]

@@ -92,7 +92,7 @@ impl<E> TimerWheel<E> {
         // When the level-0 cursor wraps, pull down the next level-1 bucket,
         // and so on up the hierarchy.
         for level in 1..LEVELS {
-            if self.horizon % self.slot_width(level) == 0 {
+            if self.horizon.is_multiple_of(self.slot_width(level)) {
                 let slot = ((self.horizon / self.slot_width(level)) % SLOTS as u64) as usize;
                 let mut bucket: Vec<Scheduled<E>> =
                     self.wheels[level][slot].drain(..).collect();

@@ -11,6 +11,7 @@
 pub mod catalog;
 pub mod checks;
 pub mod figure;
+pub mod observe;
 pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
@@ -18,6 +19,7 @@ pub mod tables;
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use checks::{check_figure, render_checks, Check};
 pub use figure::{Figure, Metric, Series};
+pub use observe::{observe, Observation};
 pub use sensitivity::{render_sensitivity, run_sensitivity, SensitivityRow, PERTURBATIONS};
 pub use sweep::sweep;
 pub use tables::{best_config_table, BestConfigTable, ConfigSummary};

@@ -189,8 +189,10 @@ mod tests {
 
     #[test]
     fn conclusions_survive_a_slow_jvm() {
-        let mut costs = CpuCosts::default();
-        costs.jvm_factor = 1.4;
+        let costs = CpuCosts {
+            jvm_factor: 1.4,
+            ..CpuCosts::default()
+        };
         let (c1, c2, c3) = test_conclusions(&costs);
         assert!(c1 && c2 && c3, "slow JVM flipped a conclusion: {c1} {c2} {c3}");
     }

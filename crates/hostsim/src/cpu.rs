@@ -46,6 +46,20 @@ struct RunningJob<P> {
     payload: P,
     lane: usize,
     queued_for: SimDuration,
+    service: SimDuration,
+}
+
+/// A finished job with its timing, returned by [`Cpu::complete_info`]. The
+/// service/queued durations let instrumentation attribute the completion
+/// instant backwards (service started at `now - service`) without the
+/// caller having to carry timestamps in every payload.
+#[derive(Debug)]
+pub struct CompletedJob<P> {
+    pub payload: P,
+    /// Execution time of the job (excludes queueing).
+    pub service: SimDuration,
+    /// Time spent queued in the lane before a processor picked it up.
+    pub queued_for: SimDuration,
 }
 
 #[derive(Debug)]
@@ -155,6 +169,17 @@ impl<P> Cpu<P> {
         now: SimTime,
         token: JobToken,
     ) -> (P, Vec<(JobToken, SimTime, SimDuration)>) {
+        let (done, started) = self.complete_info(now, token);
+        (done.payload, started)
+    }
+
+    /// Like [`Cpu::complete`] but also reports the finished job's service
+    /// and queueing durations (for per-stage instrumentation).
+    pub fn complete_info(
+        &mut self,
+        now: SimTime,
+        token: JobToken,
+    ) -> (CompletedJob<P>, Vec<(JobToken, SimTime, SimDuration)>) {
         let job = self
             .running
             .remove(&token.0)
@@ -163,7 +188,14 @@ impl<P> Cpu<P> {
         self.stats.jobs_completed += 1;
         self.stats.queued_nanos += job.queued_for.as_nanos();
         let started = self.try_start(now);
-        (job.payload, started)
+        (
+            CompletedJob {
+                payload: job.payload,
+                service: job.service,
+                queued_for: job.queued_for,
+            },
+            started,
+        )
     }
 
     /// Start every queued job that can run. Round-robin across lanes so one
@@ -203,6 +235,7 @@ impl<P> Cpu<P> {
                     payload: job.payload,
                     lane: idx,
                     queued_for: now.saturating_since(job.enqueued_at),
+                    service: job.service,
                 },
             );
             started.push((token, finish, job.service));
@@ -309,6 +342,21 @@ mod tests {
         // Job 1 had already started when job 2 was queued, so the queue
         // never held more than one waiting job.
         assert_eq!(st.peak_queue, 1);
+    }
+
+    #[test]
+    fn complete_info_reports_service_and_queueing() {
+        let mut cpu: Cpu<u32> = Cpu::new(1);
+        let lane = cpu.add_lane(10);
+        let s1 = cpu.submit(at(0), lane, ms(10), 0);
+        cpu.submit(at(2), lane, ms(7), 1);
+        let (done1, s2) = cpu.complete_info(at(10), s1[0].0);
+        assert_eq!(done1.service, ms(10));
+        assert_eq!(done1.queued_for, SimDuration::ZERO);
+        let (done2, _) = cpu.complete_info(at(17), s2[0].0);
+        assert_eq!(done2.payload, 1);
+        assert_eq!(done2.service, ms(7));
+        assert_eq!(done2.queued_for, ms(8), "queued from t=2 to t=10");
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn drive(num_cpus: usize, lane_caps: &[usize], jobs: &[(usize, u64)]) -> (u64, u
     let mut completed = 0u64;
     let mut submitted_work = 0u64;
 
-    let mut check = |cpu: &Cpu<u64>| {
+    let check = |cpu: &Cpu<u64>| {
         assert!(cpu.running_total() <= num_cpus, "CPU oversubscribed");
     };
 

@@ -13,6 +13,7 @@
 
 use desim::Rng;
 use metrics::{ClientError, ErrorCounters, Histogram};
+use obs::{EndReason, Obs, ObsConfig, Span, Stage};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -32,6 +33,10 @@ pub struct LoadConfig {
     /// Multiplier on think times (1.0 = faithful; tests use ~0.01).
     pub think_scale: f64,
     pub seed: u64,
+    /// Typed observability capture (connect spans, per-reply stage
+    /// breakdowns). `None` (the default) records nothing and costs one
+    /// branch per hook — mirrors `TestbedConfig::obs` on the sim side.
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for LoadConfig {
@@ -44,6 +49,7 @@ impl Default for LoadConfig {
             client_timeout: Duration::from_secs(10),
             think_scale: 1.0,
             seed: 0x010A_D6E4,
+            obs: None,
         }
     }
 }
@@ -62,6 +68,11 @@ pub struct LoadReport {
     /// Connection establishment time, µs.
     pub connect_time_us: Histogram,
     pub wall: Duration,
+    /// Merged per-thread observability capture (empty unless
+    /// `LoadConfig::obs` was set). Timestamps are wall nanoseconds since
+    /// the run started — the live analogue of the simulator's virtual
+    /// clock, so both layers export the same JSONL schema.
+    pub obs: Obs,
 }
 
 impl LoadReport {
@@ -76,10 +87,11 @@ impl LoadReport {
             response_time_us: Histogram::default_precision(),
             connect_time_us: Histogram::default_precision(),
             wall: Duration::ZERO,
+            obs: Obs::disabled(),
         }
     }
 
-    fn merge(&mut self, other: &LoadReport) {
+    fn merge(&mut self, other: LoadReport) {
         self.replies += other.replies;
         self.requests += other.requests;
         self.bytes_received += other.bytes_received;
@@ -88,6 +100,7 @@ impl LoadReport {
         self.errors.merge(&other.errors);
         self.response_time_us.merge(&other.response_time_us);
         self.connect_time_us.merge(&other.connect_time_us);
+        self.obs.merge(other.obs);
     }
 
     /// Render an httperf-style summary block.
@@ -134,17 +147,25 @@ pub fn run(cfg: &LoadConfig, files: &FileSet) -> LoadReport {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
                 let cfg = cfg.clone();
-                scope.spawn(move || client_loop(&cfg, files, i as u64, deadline))
+                scope.spawn(move || client_loop(&cfg, files, i as u64, start, deadline))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
     let mut total = LoadReport::new();
-    for r in &reports {
+    if let Some(oc) = &cfg.obs {
+        total.obs = Obs::new(oc);
+    }
+    for r in reports {
         total.merge(r);
     }
     total.wall = start.elapsed();
     total
+}
+
+/// Wall nanoseconds since the run epoch — the live layer's clock.
+fn ns_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
 }
 
 /// What ended a burst exchange.
@@ -165,12 +186,26 @@ fn classify(e: &io::Error) -> ExchangeEnd {
     }
 }
 
-fn client_loop(cfg: &LoadConfig, files: &FileSet, id: u64, deadline: Instant) -> LoadReport {
+fn client_loop(
+    cfg: &LoadConfig,
+    files: &FileSet,
+    id: u64,
+    epoch: Instant,
+    deadline: Instant,
+) -> LoadReport {
     let mut report = LoadReport::new();
+    if let Some(oc) = &cfg.obs {
+        report.obs = Obs::new(oc);
+    }
     let mut rng = Rng::new(cfg.seed ^ 0x5E55_0000).split_labeled(id);
     let mut scratch = vec![0u8; 64 * 1024];
+    // Connection ids unique across client threads so merged captures never
+    // collide: high bits carry the thread id.
+    let mut conn_seq: u64 = 0;
     'sessions: while Instant::now() < deadline {
         let plan = SessionPlan::generate(&cfg.session, files, &mut rng);
+        conn_seq += 1;
+        let conn = (id << 32) | conn_seq;
         // Connect (measured).
         let t0 = Instant::now();
         let remaining = deadline.saturating_duration_since(t0);
@@ -197,6 +232,16 @@ fn client_loop(cfg: &LoadConfig, files: &FileSet, id: u64, deadline: Instant) ->
         report
             .connect_time_us
             .record(t0.elapsed().as_micros() as u64);
+        if report.obs.on() {
+            // Same interval connect_time_us measures, as a typed span.
+            report.obs.spans.push(Span {
+                conn,
+                req: None,
+                stage: Stage::ConnectWait,
+                start_ns: t0.saturating_duration_since(epoch).as_nanos() as u64,
+                end_ns: ns_since(epoch),
+            });
+        }
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(cfg.client_timeout));
 
@@ -210,8 +255,29 @@ fn client_loop(cfg: &LoadConfig, files: &FileSet, id: u64, deadline: Instant) ->
                 }
                 std::thread::sleep(think);
             }
-            match exchange_burst(cfg, files, &mut stream, &burst.files, &mut scratch, &mut report)
-            {
+            let end = exchange_burst(
+                files,
+                &mut stream,
+                conn,
+                epoch,
+                &burst.files,
+                &mut scratch,
+                &mut report,
+            );
+            if report.obs.on() {
+                // Close out whatever the burst left in flight with the
+                // EndReason the error classification implies.
+                let reason = match end {
+                    ExchangeEnd::Ok => None,
+                    ExchangeEnd::Timeout => Some(EndReason::Timeout),
+                    ExchangeEnd::Reset => Some(EndReason::Reset),
+                    ExchangeEnd::OtherError => Some(EndReason::Closed),
+                };
+                if let Some(r) = reason {
+                    report.obs.requests.finish_all(conn, ns_since(epoch), r);
+                }
+            }
+            match end {
                 ExchangeEnd::Ok => {}
                 ExchangeEnd::Timeout => {
                     report.errors.record(ClientError::ClientTimeout);
@@ -237,10 +303,12 @@ fn client_loop(cfg: &LoadConfig, files: &FileSet, id: u64, deadline: Instant) ->
 }
 
 /// Send one pipelined burst and read all its replies.
+#[allow(clippy::too_many_arguments)]
 fn exchange_burst(
-    _cfg: &LoadConfig,
     files: &FileSet,
     stream: &mut TcpStream,
+    conn: u64,
+    epoch: Instant,
     targets: &[workload::FileId],
     scratch: &mut [u8],
     report: &mut LoadReport,
@@ -251,6 +319,15 @@ fn exchange_burst(
         out.extend_from_slice(format!("GET /f/{} HTTP/1.1\r\nHost: sut\r\n\r\n", f.0).as_bytes());
     }
     let sent_at = Instant::now();
+    if report.obs.on() {
+        // Each pipelined request opens in Parse at the send instant —
+        // identical semantics to the simulator's SendBurst hook, so the
+        // breakdown totals are the same response time the histogram records.
+        let t = sent_at.saturating_duration_since(epoch).as_nanos() as u64;
+        for _ in targets {
+            report.obs.requests.begin(conn, t, Stage::Parse);
+        }
+    }
     if let Err(e) = stream.write_all(&out) {
         return classify(&e);
     }
@@ -261,6 +338,9 @@ fn exchange_burst(
     let mut expected = targets.len();
     let expect_sizes: Vec<u64> = targets.iter().map(|&f| files.size_of(f)).collect();
     let mut idx = 0;
+    // When the current reply's head became visible before its body finished
+    // — the client-observable service/transfer boundary.
+    let mut head_seen_ns: Option<u64> = None;
     while expected > 0 {
         // Parse as many complete replies as the buffer holds.
         loop {
@@ -268,6 +348,9 @@ fn exchange_burst(
                 Some(Ok(head)) => {
                     let total = head.head_len + head.content_length;
                     if buf.len() < total {
+                        if report.obs.on() && head_seen_ns.is_none() {
+                            head_seen_ns = Some(ns_since(epoch));
+                        }
                         break; // need more body bytes
                     }
                     report.replies += 1;
@@ -275,6 +358,16 @@ fn exchange_burst(
                     report
                         .response_time_us
                         .record(sent_at.elapsed().as_micros() as u64);
+                    if report.obs.on() {
+                        let done_ns = ns_since(epoch);
+                        // Service ends when the head surfaced; Transfer
+                        // carries the body tail. A reply arriving whole
+                        // degenerates to a zero-width Transfer.
+                        let head_ns = head_seen_ns.take().unwrap_or(done_ns);
+                        report.obs.requests.mark_next(conn, Stage::Service, head_ns);
+                        report.obs.requests.mark_next(conn, Stage::Transfer, done_ns);
+                        report.obs.requests.finish_next(conn, done_ns, EndReason::Done);
+                    }
                     if head.status == 200 {
                         debug_assert_eq!(
                             head.content_length as u64, expect_sizes[idx],
@@ -331,6 +424,7 @@ mod tests {
             client_timeout: Duration::from_secs(5),
             think_scale: 0.005,
             seed: 42,
+            obs: None,
         }
     }
 
@@ -396,6 +490,58 @@ mod tests {
             "expected resets: {:?}",
             report.errors
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn captures_breakdowns_and_gauges_against_live_server() {
+        use obs::GaugeKind;
+        use std::sync::atomic::AtomicBool;
+
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = nioserver::NioServer::start(nioserver::NioConfig {
+            workers: 2,
+            selector: nioserver::SelectorKind::Epoll,
+            content,
+        })
+        .unwrap();
+        // Stats thread sampling the server's atomic registry in wall time —
+        // the live counterpart of the simulator's virtual-time Ev::ObsSample.
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = obs::spawn_sampler(
+            server.gauges(),
+            obs::gauge::kinds_for(false),
+            Duration::from_millis(5),
+            4096,
+            Arc::clone(&stop),
+        );
+        let mut cfg = quick_cfg(server.addr());
+        cfg.obs = Some(obs::ObsConfig::default());
+        let mut report = run(&cfg, &files);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        report.obs.gauges.merge(sampler.join().unwrap());
+
+        assert!(report.obs.on());
+        // Every reply produced a breakdown obeying the stage invariants.
+        let completed = report.obs.requests.completed();
+        assert!(!completed.is_empty());
+        assert!(completed.len() as u64 >= report.replies);
+        for b in completed {
+            assert!(b.end_ns >= b.start_ns);
+            assert_eq!(b.stage_sum_ns(), b.total_ns(), "{b:?}");
+            assert_eq!(b.stages.first().map(|&(s, _)| s), Some(Stage::Parse));
+        }
+        // Connect spans mirror the connect-time histogram.
+        assert!(report
+            .obs
+            .spans
+            .spans()
+            .any(|s| s.stage == Stage::ConnectWait && s.end_ns >= s.start_ns));
+        // The sampler saw the server's connections while the run was live.
+        assert!(!report.obs.gauges.is_empty());
+        assert!(report.obs.gauges.samples().iter().all(|s| s.value >= 0.0));
+        assert!(report.obs.gauges.peak(GaugeKind::OpenConns) >= 1.0);
         server.shutdown();
     }
 

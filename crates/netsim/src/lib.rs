@@ -9,4 +9,4 @@ pub mod conn;
 pub mod link;
 
 pub use conn::{CloseKind, ConnId, ConnState, Connection};
-pub use link::{FlowId, LinkConfig, PsLink};
+pub use link::{FlowId, LinkConfig, LinkGauges, PsLink};

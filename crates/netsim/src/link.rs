@@ -209,6 +209,27 @@ impl PsLink {
             1.0
         }
     }
+
+    /// Point-in-time load numbers for a periodic gauge sampler — one call
+    /// per sampling tick instead of three, and a stable place to extend if
+    /// the fluid model ever tracks more state.
+    pub fn gauges(&self) -> LinkGauges {
+        LinkGauges {
+            active_flows: self.active_flows(),
+            utilisation: self.utilisation(),
+            per_flow_rate: self.per_flow_rate(),
+        }
+    }
+}
+
+/// Snapshot of a link's instantaneous load, for gauge sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkGauges {
+    pub active_flows: usize,
+    /// Work-conserving utilisation in [0, 1].
+    pub utilisation: f64,
+    /// Instantaneous per-flow throughput in bytes/second.
+    pub per_flow_rate: f64,
 }
 
 #[cfg(test)]
@@ -365,6 +386,25 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut l = link(100.0);
         l.set_capacity(SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn gauge_snapshot_tracks_flows() {
+        let mut l = link(100.0);
+        assert_eq!(
+            l.gauges(),
+            LinkGauges {
+                active_flows: 0,
+                utilisation: 0.0,
+                per_flow_rate: 0.0
+            }
+        );
+        l.start_flow(SimTime::ZERO, FlowId(1), 1e9);
+        l.start_flow(SimTime::ZERO, FlowId(2), 1e9);
+        let g = l.gauges();
+        assert_eq!(g.active_flows, 2);
+        assert_eq!(g.utilisation, 1.0);
+        assert!((g.per_flow_rate - 6.25e6).abs() < 1.0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! connection-reset errors in figure 3(b).
 
 use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
+use obs::{GaugeKind, LiveGauges};
 use reactor::{Event, Interest, Selector, Token, Waker};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -57,6 +58,7 @@ pub struct NioServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<NioStats>,
+    gauges: Arc<LiveGauges>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -69,6 +71,7 @@ impl NioServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NioStats::default());
+        let gauges = Arc::new(LiveGauges::new());
 
         // Channels: acceptor → workers, round-robin, with a self-pipe waker
         // per worker so a handed-over connection is adopted immediately
@@ -81,26 +84,29 @@ impl NioServer {
             senders.push((tx, Arc::clone(&waker)));
             let stop_w = Arc::clone(&stop);
             let stats_w = Arc::clone(&stats);
+            let gauges_w = Arc::clone(&gauges);
             let cfg = config.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("nio-worker-{w}"))
-                    .spawn(move || worker_loop(cfg, rx, waker, stop_w, stats_w))
+                    .spawn(move || worker_loop(cfg, rx, waker, stop_w, stats_w, gauges_w))
                     .expect("spawn worker"),
             );
         }
         let stop_a = Arc::clone(&stop);
         let stats_a = Arc::clone(&stats);
+        let gauges_a = Arc::clone(&gauges);
         threads.push(
             std::thread::Builder::new()
                 .name("nio-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, senders, stop_a, stats_a))
+                .spawn(move || acceptor_loop(listener, senders, stop_a, stats_a, gauges_a))
                 .expect("spawn acceptor"),
         );
         Ok(NioServer {
             addr,
             stop,
             stats,
+            gauges,
             threads,
         })
     }
@@ -113,6 +119,13 @@ impl NioServer {
     /// Live counters.
     pub fn stats(&self) -> &NioStats {
         &self.stats
+    }
+
+    /// Lock-free gauge registry (open connections, ready-set size,
+    /// accept-backlog residence). Hand it to [`obs::spawn_sampler`] to
+    /// collect a periodic [`obs::GaugeLog`] while the server runs.
+    pub fn gauges(&self) -> Arc<LiveGauges> {
+        Arc::clone(&self.gauges)
     }
 
     /// Signal all threads to stop and join them.
@@ -140,6 +153,7 @@ fn acceptor_loop(
     senders: Vec<(crossbeam::channel::Sender<TcpStream>, Arc<Waker>)>,
     stop: Arc<AtomicBool>,
     stats: Arc<NioStats>,
+    gauges: Arc<LiveGauges>,
 ) {
     let mut next = 0usize;
     while !stop.load(Ordering::Relaxed) {
@@ -151,6 +165,8 @@ fn acceptor_loop(
                 // Round-robin across workers; a closed channel means the
                 // worker died with the server.
                 let (tx, waker) = &senders[next % senders.len()];
+                // Accepted but not yet adopted by a worker: backlog residence.
+                gauges.add(GaugeKind::AcceptBacklog, 1);
                 if tx.send(stream).is_err() {
                     return;
                 }
@@ -199,6 +215,7 @@ fn worker_loop(
     waker: Arc<Waker>,
     stop: Arc<AtomicBool>,
     stats: Arc<NioStats>,
+    gauges: Arc<LiveGauges>,
 ) {
     let mut selector: Box<dyn Selector> = match cfg.selector {
         SelectorKind::Epoll => Box::new(reactor::EpollSelector::new().expect("epoll")),
@@ -213,16 +230,20 @@ fn worker_loop(
     let mut read_buf = vec![0u8; 64 * 1024];
     let mut date = httpcore::now_http_date();
     let mut date_refresh = std::time::Instant::now();
+    let mut last_ready = 0usize;
 
     while !stop.load(Ordering::Relaxed) {
         // Adopt freshly accepted connections.
         while let Ok(stream) = rx.try_recv() {
+            gauges.sub(GaugeKind::AcceptBacklog, 1);
             next_token += 1;
             let token = Token(next_token);
             if selector
                 .register(stream.as_raw_fd(), token, Interest::READABLE)
                 .is_ok()
             {
+                gauges.add(GaugeKind::OpenConns, 1);
+                gauges.add(GaugeKind::RegisteredConns, 1);
                 conns.insert(
                     next_token,
                     Conn {
@@ -245,6 +266,12 @@ fn worker_loop(
         // The waker interrupts this wait the moment a connection is handed
         // over; the 100 ms ceiling only bounds shutdown latency.
         let _ = selector.select(&mut events, Some(Duration::from_millis(100)));
+        // Publish this worker's ready-set size; add-then-sub keeps the
+        // shared (multi-worker) total from transiently saturating at zero.
+        let ready = events.iter().filter(|e| e.token != WAKER_TOKEN).count();
+        gauges.add(GaugeKind::ReadySetSize, ready as u64);
+        gauges.sub(GaugeKind::ReadySetSize, last_ready as u64);
+        last_ready = ready;
         let drained: Vec<Event> = std::mem::take(&mut events);
         for ev in drained {
             if ev.token == WAKER_TOKEN {
@@ -269,6 +296,8 @@ fn worker_loop(
                 let fd = conn.stream.as_raw_fd();
                 let _ = selector.deregister(fd);
                 conns.remove(&token);
+                gauges.sub(GaugeKind::OpenConns, 1);
+                gauges.sub(GaugeKind::RegisteredConns, 1);
             } else {
                 let fd = conn.stream.as_raw_fd();
                 let _ = selector.reregister(fd, Token(token), conn.interest());

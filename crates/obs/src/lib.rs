@@ -1,0 +1,155 @@
+//! `obs` — typed observability shared by the simulated and live layers.
+//!
+//! The paper's anomalies (Fig 2's timeout-deflated mean, Fig 3's reset
+//! stream, Fig 4's connection-time blowup past the pool size) are all
+//! *internal-state* stories. This crate makes that state visible with three
+//! typed record kinds, one closed stage taxonomy, and one export schema:
+//!
+//! * [`Stage`]/[`EndReason`] — the closed lifecycle taxonomy
+//!   (connect-wait, accept, parse, service, transfer, idle; ended by
+//!   done/closed/reset/timeout). No ad-hoc strings.
+//! * [`RequestTracker`] — per-request stage breakdowns built from monotone
+//!   marks, so durations are non-negative, non-overlapping, and sum exactly
+//!   to the measured response time (property-tested).
+//! * [`SpanLog`] — connection-level stage intervals in a bounded,
+//!   eviction-counting ring (the `desim::Trace` contract, typed).
+//! * [`GaugeLog`]/[`LiveGauges`] — periodic depth/occupancy samples; the
+//!   simulator pushes on a virtual timer, live servers bump a lock-free
+//!   atomic registry that a stats thread samples in wall time.
+//!
+//! Everything funnels into one JSONL schema ([`export`]) rendered by the
+//! hand-rolled `metrics::Json` writer, plus terminal tables/timelines
+//! ([`report`]).
+//!
+//! ## Cost model
+//!
+//! Like `desim::Trace`, a disabled [`Obs`] must cost one branch per
+//! call site: construct with [`Obs::disabled`] and gate every recording
+//! with [`Obs::on`]. Timestamps are `u64` nanoseconds — virtual in the
+//! simulator, wall-since-start on the live layer — which is what lets the
+//! two layers share this crate end to end.
+
+pub mod export;
+pub mod gauge;
+pub mod record;
+pub mod report;
+pub mod stage;
+
+pub use export::{to_jsonl, ExportMeta};
+pub use gauge::{spawn_sampler, GaugeKind, GaugeLog, GaugeSample, LiveGauges};
+pub use record::{RequestBreakdown, RequestTracker, Span, SpanLog};
+pub use stage::{EndReason, Stage};
+
+/// Capacities and cadence for one observed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Connection-level span ring capacity.
+    pub span_capacity: usize,
+    /// Completed request-breakdown archive capacity.
+    pub request_capacity: usize,
+    /// Gauge sample store capacity.
+    pub gauge_capacity: usize,
+    /// Gauge sampling period in nanoseconds (virtual or wall).
+    pub sample_period_ns: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            span_capacity: 65_536,
+            request_capacity: 262_144,
+            gauge_capacity: 65_536,
+            sample_period_ns: 50_000_000, // 50 ms
+        }
+    }
+}
+
+/// One run's worth of observability state.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    pub spans: SpanLog,
+    pub requests: RequestTracker,
+    pub gauges: GaugeLog,
+    sample_period_ns: u64,
+}
+
+impl Obs {
+    /// Fully enabled with the given capacities.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        Obs {
+            enabled: true,
+            spans: SpanLog::bounded(cfg.span_capacity),
+            requests: RequestTracker::bounded(cfg.request_capacity),
+            gauges: GaugeLog::bounded(cfg.gauge_capacity),
+            sample_period_ns: cfg.sample_period_ns.max(1),
+        }
+    }
+
+    /// Zero-capacity, never-recording instance. Call sites must check
+    /// [`Obs::on`] first, making the disabled path a single branch.
+    pub fn disabled() -> Self {
+        Obs {
+            enabled: false,
+            spans: SpanLog::bounded(0),
+            requests: RequestTracker::bounded(0),
+            gauges: GaugeLog::bounded(0),
+            sample_period_ns: u64::MAX,
+        }
+    }
+
+    /// Whether recording is on — the cheap gate, mirroring `Trace::wants`.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Gauge sampling period (ns).
+    #[inline]
+    pub fn sample_period_ns(&self) -> u64 {
+        self.sample_period_ns
+    }
+
+    /// Merge a per-thread capture into this one (live layer join).
+    pub fn merge(&mut self, other: Obs) {
+        self.spans.merge(other.spans);
+        self.requests.merge(other.requests);
+        self.gauges.merge(other.gauges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut obs = Obs::disabled();
+        assert!(!obs.on());
+        // Even if a caller forgets the gate, capacity 0 keeps stores empty.
+        obs.gauges.push(1, GaugeKind::OpenConns, 1.0);
+        obs.spans.push(Span {
+            conn: 0,
+            req: None,
+            stage: Stage::Idle,
+            start_ns: 0,
+            end_ns: 1,
+        });
+        assert!(obs.gauges.is_empty());
+        assert!(obs.spans.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_captures() {
+        let cfg = ObsConfig::default();
+        let mut a = Obs::new(&cfg);
+        let mut b = Obs::new(&cfg);
+        a.gauges.push(1, GaugeKind::OpenConns, 1.0);
+        b.gauges.push(2, GaugeKind::OpenConns, 2.0);
+        b.requests.begin(9, 0, Stage::Parse);
+        b.requests.finish_next(9, 10, EndReason::Done);
+        a.merge(b);
+        assert_eq!(a.gauges.len(), 2);
+        assert_eq!(a.requests.completed().len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The closed stage taxonomy.
+//!
+//! Every nanosecond of a connection's life is attributed to exactly one of
+//! these stages — in the simulator (virtual time) and on the live sockets
+//! (wall time) alike. Keeping the enum closed is the point: ad-hoc string
+//! labels can't be aggregated, charted, or checked for completeness, and
+//! the paper's anomalies (timeout-censored means, backlog-driven connect
+//! blowups) only become visible when stage accounting is exhaustive.
+
+/// A lifecycle stage of a connection or request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// SYN sent, waiting for the server to complete the handshake — the
+    /// paper's "connection time" (Fig 4) lives here.
+    ConnectWait,
+    /// Established at the server but not yet adopted by a worker/thread
+    /// (accept-queue and handoff-channel residence).
+    Accept,
+    /// Bytes arrived; request being read and parsed (for the event-driven
+    /// server this is the worker stage, including the read/write syscall
+    /// work; queueing ahead of the parse lands here too).
+    Parse,
+    /// Application service + kernel send work producing the reply bytes.
+    Service,
+    /// Reply bytes in flight on the shared link (processor-sharing
+    /// residence, including waiting behind earlier replies on the same
+    /// connection).
+    Transfer,
+    /// Connection open but quiescent (client think time, keep-alive gaps).
+    Idle,
+}
+
+impl Stage {
+    /// All stages, in canonical lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::ConnectWait,
+        Stage::Accept,
+        Stage::Parse,
+        Stage::Service,
+        Stage::Transfer,
+        Stage::Idle,
+    ];
+
+    /// Stable lower-case label used in JSONL exports and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::ConnectWait => "connect-wait",
+            Stage::Accept => "accept",
+            Stage::Parse => "parse",
+            Stage::Service => "service",
+            Stage::Transfer => "transfer",
+            Stage::Idle => "idle",
+        }
+    }
+}
+
+/// How a connection or request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndReason {
+    /// Reply fully delivered and measured.
+    Done,
+    /// Orderly close (session finished, graceful FIN).
+    Closed,
+    /// Peer reset the connection (the paper's Fig 3 error stream).
+    Reset,
+    /// The client gave up waiting; the reply never counted toward the mean
+    /// — the censoring behind httpd2's "suspiciously low" Fig 2 curve.
+    Timeout,
+}
+
+impl EndReason {
+    pub const ALL: [EndReason; 4] = [
+        EndReason::Done,
+        EndReason::Closed,
+        EndReason::Reset,
+        EndReason::Timeout,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EndReason::Done => "done",
+            EndReason::Closed => "closed",
+            EndReason::Reset => "reset",
+            EndReason::Timeout => "timeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(Stage::ConnectWait.label(), "connect-wait");
+        assert_eq!(EndReason::Timeout.label(), "timeout");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the observability invariants the ISSUE pins:
+//!
+//! * For **arbitrary** begin/mark/finish schedules, every completed request
+//!   breakdown has non-negative, non-overlapping stage durations that sum
+//!   exactly to the recorded response time (`end - start`).
+//! * [`obs::LiveGauges`] readings never go negative, whatever interleaving
+//!   of adds and (over-)subs the servers produce.
+
+use obs::{EndReason, GaugeKind, LiveGauges, RequestTracker, Stage};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Check every breakdown invariant on one completed request.
+fn assert_breakdown_invariants(b: &obs::RequestBreakdown) {
+    assert!(b.end_ns >= b.start_ns, "request ends before it starts: {b:?}");
+    // Telescoping sum: stages partition [start, end] exactly.
+    assert_eq!(
+        b.stage_sum_ns(),
+        b.total_ns(),
+        "stage durations must sum to response time: {b:?}"
+    );
+    // Non-overlap: stages are consecutive intervals; reconstruct the
+    // boundaries and confirm they are monotone and land on end_ns.
+    let mut cursor = b.start_ns;
+    for &(_, d) in &b.stages {
+        let next = cursor.checked_add(d).expect("no overflow");
+        assert!(next <= b.end_ns, "stage interval escapes the request: {b:?}");
+        cursor = next;
+    }
+    assert_eq!(cursor, b.end_ns, "intervals must tile to the end: {b:?}");
+}
+
+proptest! {
+    /// Arbitrary schedules: random interleavings of begins, marks (with
+    /// arbitrary — including retrograde — timestamps), per-request
+    /// finishes, and whole-connection finishes across several connections.
+    #[test]
+    fn arbitrary_schedules_preserve_breakdown_invariants(
+        ops in vec((0u64..4, 0u64..6, 0u64..1_000_000), 1..250),
+    ) {
+        let mut t = RequestTracker::bounded(4096);
+        for &(conn, op, time) in &ops {
+            match op {
+                0 => {
+                    t.begin(conn, time, Stage::Parse);
+                }
+                1 => t.mark_next(conn, Stage::Service, time),
+                2 => t.mark_next(conn, Stage::Transfer, time),
+                3 => {
+                    t.finish_next(conn, time, EndReason::Done);
+                }
+                4 => {
+                    t.finish_all(conn, time, EndReason::Timeout);
+                }
+                _ => t.mark_next(conn, Stage::Idle, time),
+            }
+        }
+        // Flush whatever is still open, as a connection teardown would.
+        for conn in 0..4u64 {
+            t.finish_all(conn, 2_000_000, EndReason::Closed);
+        }
+        prop_assert_eq!(t.open_len(), 0);
+        for b in t.completed() {
+            assert_breakdown_invariants(b);
+        }
+    }
+
+    /// FIFO pipelining with in-order marks — the shape the simulator
+    /// produces — additionally keeps stages in lifecycle order.
+    #[test]
+    fn pipelined_fifo_schedules_keep_stage_order(
+        bursts in vec((1usize..5, 0u64..1000, 1u64..1000), 1..40),
+    ) {
+        let mut t = RequestTracker::bounded(4096);
+        let mut now = 0u64;
+        for &(n, gap, step) in &bursts {
+            now += gap;
+            for _ in 0..n {
+                t.begin(1, now, Stage::Parse);
+            }
+            for _ in 0..n {
+                now += step;
+                t.mark_next(1, Stage::Service, now);
+                now += step;
+                t.mark_next(1, Stage::Transfer, now);
+                now += step;
+                t.finish_next(1, now, EndReason::Done);
+            }
+        }
+        for b in t.completed() {
+            assert_breakdown_invariants(b);
+            let order: Vec<Stage> = b.stages.iter().map(|&(s, _)| s).collect();
+            prop_assert_eq!(
+                order,
+                vec![Stage::Parse, Stage::Service, Stage::Transfer]
+            );
+        }
+    }
+
+    /// Gauges never go negative: random add/sub streams (subs may exceed
+    /// adds) always read back >= 0 thanks to saturating decrements.
+    #[test]
+    fn live_gauges_never_negative(
+        ops in vec((0usize..9, any::<bool>(), 0u64..100), 1..300),
+    ) {
+        let g = LiveGauges::new();
+        for &(k, is_add, delta) in &ops {
+            let kind = GaugeKind::ALL[k];
+            if is_add {
+                g.add(kind, delta);
+            } else {
+                g.sub(kind, delta);
+            }
+            // u64 readings are non-negative by type; the property that
+            // matters is that an over-sub saturates instead of wrapping to
+            // a huge "negative" value.
+            prop_assert!(g.get(kind) < u64::MAX / 2, "wrapped below zero");
+        }
+    }
+}

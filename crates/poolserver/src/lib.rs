@@ -15,6 +15,7 @@
 //!   (figure 3(b)).
 
 use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
+use obs::{GaugeKind, LiveGauges};
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +51,7 @@ pub struct PoolServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<PoolStats>,
+    gauges: Arc<LiveGauges>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -62,17 +64,19 @@ impl PoolServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(PoolStats::default());
+        let gauges = Arc::new(LiveGauges::new());
         let accept_mutex = Arc::new(Mutex::new(listener));
         let mut threads = Vec::new();
         for i in 0..config.pool_size {
             let stop_t = Arc::clone(&stop);
             let stats_t = Arc::clone(&stats);
+            let gauges_t = Arc::clone(&gauges);
             let mutex_t = Arc::clone(&accept_mutex);
             let cfg = config.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("pool-{i}"))
-                    .spawn(move || pool_thread(cfg, mutex_t, stop_t, stats_t))
+                    .spawn(move || pool_thread(cfg, mutex_t, stop_t, stats_t, gauges_t))
                     .expect("spawn pool thread"),
             );
         }
@@ -80,6 +84,7 @@ impl PoolServer {
             addr,
             stop,
             stats,
+            gauges,
             threads,
         })
     }
@@ -90,6 +95,13 @@ impl PoolServer {
 
     pub fn stats(&self) -> &PoolStats {
         &self.stats
+    }
+
+    /// Lock-free gauge registry (thread-pool occupancy, open connections).
+    /// Hand it to [`obs::spawn_sampler`] to collect a periodic
+    /// [`obs::GaugeLog`] while the server runs.
+    pub fn gauges(&self) -> Arc<LiveGauges> {
+        Arc::clone(&self.gauges)
     }
 
     /// Signal all threads to stop and join them.
@@ -117,6 +129,7 @@ fn pool_thread(
     listener: Arc<Mutex<TcpListener>>,
     stop: Arc<AtomicBool>,
     stats: Arc<PoolStats>,
+    gauges: Arc<LiveGauges>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         // Apache's accept serialisation: one thread in accept at a time.
@@ -128,7 +141,13 @@ fn pool_thread(
             Ok((stream, _)) => {
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                 stats.busy_threads.fetch_add(1, Ordering::Relaxed);
+                // Thread binding: occupancy and open-conn count move in
+                // lockstep — the architectural coupling the paper measures.
+                gauges.add(GaugeKind::ThreadPoolOccupancy, 1);
+                gauges.add(GaugeKind::OpenConns, 1);
                 serve_connection(&cfg, stream, &stop, &stats);
+                gauges.sub(GaugeKind::ThreadPoolOccupancy, 1);
+                gauges.sub(GaugeKind::OpenConns, 1);
                 stats.busy_threads.fetch_sub(1, Ordering::Relaxed);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -449,6 +468,30 @@ mod tests {
         drop(held); // closes the first connection, freeing the thread
         let (status, _) = t.join().unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn occupancy_gauge_tracks_bound_threads() {
+        let (server, _) = start(2, None);
+        let g = server.gauges();
+        assert_eq!(g.get(GaugeKind::ThreadPoolOccupancy), 0);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0);
+        // The connection is alive and keep-alive: exactly one thread bound.
+        assert_eq!(g.get(GaugeKind::ThreadPoolOccupancy), 1);
+        assert_eq!(g.get(GaugeKind::OpenConns), 1);
+        drop(s);
+        // The thread notices the close within its 1 s read slice.
+        let freed = (0..60).any(|_| {
+            std::thread::sleep(Duration::from_millis(50));
+            g.get(GaugeKind::ThreadPoolOccupancy) == 0
+        });
+        assert!(freed, "thread never unbound after client close");
         server.shutdown();
     }
 

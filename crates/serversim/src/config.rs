@@ -119,6 +119,10 @@ pub struct TestbedConfig {
     /// architectures exceeding it fail validation — the constraint that
     /// makes the nio server's thread economy matter.
     pub jvm_thread_limit: Option<usize>,
+    /// Typed observability capture (spans, request breakdowns, gauges).
+    /// `None` (the default) records nothing and costs one branch per hook,
+    /// like `trace_capacity: 0` — measurement runs stay unperturbed.
+    pub obs: Option<obs::ObsConfig>,
 }
 
 impl TestbedConfig {
@@ -154,6 +158,7 @@ impl TestbedConfig {
             link_outages: Vec::new(),
             trace_capacity: 0,
             jvm_thread_limit: Some(1000),
+            obs: None,
         }
     }
 

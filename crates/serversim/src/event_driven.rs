@@ -56,6 +56,12 @@ impl EventServer {
         self.registered.len()
     }
 
+    /// Connections waiting for the acceptor thread (the accept-backlog
+    /// depth the gauge sampler reports).
+    pub fn pending_accepts(&self) -> usize {
+        self.pending_accepts
+    }
+
     /// A SYN arrived.
     pub fn on_syn(&mut self) -> AcceptOutcome {
         if self.pending_accepts < self.backlog_cap {

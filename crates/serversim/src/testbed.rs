@@ -25,6 +25,7 @@ use clientsim::{Client, ClientAction, ClientId, ClientMetrics};
 use desim::{Ctx, Engine, EventId, Model, Rng, RunOutcome, SimDuration, SimTime, Trace, TraceLevel};
 use hostsim::{Cpu, JobToken, LaneId};
 use netsim::{CloseKind, ConnId, Connection, FlowId, PsLink};
+use obs::{EndReason, GaugeKind, Obs, Span, Stage};
 use std::collections::{HashMap, VecDeque};
 use workload::{FileId, FileSet};
 
@@ -63,6 +64,9 @@ pub enum Ev {
     LinkUp(usize),
     /// Warm-up ended; begin recording histograms/counters.
     MeasureStart,
+    /// Periodic observability gauge sample (only scheduled when the run has
+    /// an [`obs::ObsConfig`]).
+    ObsSample,
     /// Run horizon.
     EndRun,
 }
@@ -167,6 +171,8 @@ pub struct Testbed {
     pub stale_events: u64,
     /// Optional connection-level debug trace.
     pub trace: Trace,
+    /// Typed observability capture (disabled unless `cfg.obs` is set).
+    pub obs: Obs,
 }
 
 impl Testbed {
@@ -237,6 +243,10 @@ impl Testbed {
             };
         let metrics = ClientMetrics::new(cfg.window());
         let trace_capacity = cfg.trace_capacity;
+        let obs = match &cfg.obs {
+            Some(c) => Obs::new(c),
+            None => Obs::disabled(),
+        };
         Testbed {
             cfg,
             files,
@@ -263,6 +273,7 @@ impl Testbed {
             } else {
                 Trace::disabled()
             },
+            obs,
         }
     }
 
@@ -535,6 +546,18 @@ impl Testbed {
         let Some(rec) = self.conns.get_mut(&conn) else {
             return;
         };
+        // Requests still open on this connection end censored: abort means
+        // the client's socket timeout fired, a clean FIN means the session
+        // moved on.
+        if self.obs.on() {
+            let end = match kind {
+                CloseKind::ClientAbort => EndReason::Timeout,
+                _ => EndReason::Closed,
+            };
+            self.obs
+                .requests
+                .finish_all(conn.0, ctx.now().as_nanos(), end);
+        }
         rec.net.close(ctx.now(), kind);
         rec.req_queue.clear();
         rec.pipeline.clear();
@@ -591,6 +614,15 @@ impl Testbed {
                     .conn
                     .expect("burst with no connection");
                 self.arm_client_timeout(ctx, cid);
+                // Request lifetimes start at the client's send instant (the
+                // anchor `record_reply` measures response time from). The
+                // first stage covers transit + server queueing + parse.
+                if self.obs.on() {
+                    let t = ctx.now().as_nanos();
+                    for _ in &files {
+                        self.obs.requests.begin(conn.0, t, Stage::Parse);
+                    }
+                }
                 let link = self.conns[&conn].link;
                 let lat = self.latency(link);
                 ctx.schedule_in(lat, Ev::RequestsAtServer(conn, files));
@@ -609,6 +641,48 @@ impl Testbed {
         }
     }
 
+    /// One periodic gauge sweep: CPU queues, server occupancy/backlog,
+    /// selector population, link load, open connections.
+    fn sample_gauges(&mut self, now: SimTime) {
+        let t = now.as_nanos();
+        let g = &mut self.obs.gauges;
+        g.push(t, GaugeKind::RunQueueDepth, self.cpu.queued_total() as f64);
+        g.push(t, GaugeKind::CpuRunning, self.cpu.running_total() as f64);
+        g.push(t, GaugeKind::OpenConns, self.conns.len() as f64);
+        let mut util = 0.0;
+        let mut flows = 0usize;
+        for l in &self.links {
+            let lg = l.gauges();
+            util += lg.utilisation;
+            flows += lg.active_flows;
+        }
+        g.push(t, GaugeKind::LinkUtilisation, util / self.links.len() as f64);
+        g.push(t, GaugeKind::ActiveFlows, flows as f64);
+        match &self.server {
+            ServerModel::Threaded(s) => {
+                g.push(t, GaugeKind::ThreadPoolOccupancy, s.threads_in_use() as f64);
+                g.push(t, GaugeKind::AcceptBacklog, s.backlog_len() as f64);
+            }
+            ServerModel::Event(e) | ServerModel::Staged(e) => {
+                g.push(t, GaugeKind::RegisteredConns, e.registered_count() as f64);
+                g.push(t, GaugeKind::AcceptBacklog, e.pending_accepts() as f64);
+                // The selector's ready set at this instant: registered
+                // connections with server-side work in flight.
+                let ready = self
+                    .conns
+                    .values()
+                    .filter(|r| {
+                        r.net.is_established()
+                            && (r.pending_jobs > 0
+                                || !r.pipeline.is_empty()
+                                || r.active_flow.is_some())
+                    })
+                    .count();
+                g.push(t, GaugeKind::ReadySetSize, ready as f64);
+            }
+        }
+    }
+
     /// Handle a completed reply flow.
     fn on_reply_flow_done(&mut self, ctx: &mut Ctx<'_, Ev>, conn: ConnId, body_bytes: u64) {
         let Some(rec) = self.conns.get_mut(&conn) else {
@@ -617,6 +691,14 @@ impl Testbed {
         rec.active_flow = None;
         rec.net.replies += 1;
         let cid = rec.client;
+        // The reply is delivered at this exact instant — the same one
+        // `client.on_reply` measures response time at — so the breakdown's
+        // total equals the recorded response time.
+        if self.obs.on() {
+            self.obs
+                .requests
+                .finish_next(conn.0, ctx.now().as_nanos(), EndReason::Done);
+        }
         // Deliver to the client.
         self.disarm_client_timeout(ctx, cid);
         let action = {
@@ -734,6 +816,23 @@ impl Model for Testbed {
                     return;
                 }
                 rec.net.establish(ctx.now());
+                let opened_ns = rec.net.opened_at.as_nanos();
+                // Connect-wait span anchored where the client's figure-4
+                // connection-time metric is anchored (read before
+                // `on_connected` clears it).
+                if self.obs.on() {
+                    let start_ns = self.clients[cid.0 as usize]
+                        .connecting_since()
+                        .map(|t| t.as_nanos())
+                        .unwrap_or(opened_ns);
+                    self.obs.spans.push(Span {
+                        conn: conn.0,
+                        req: None,
+                        stage: Stage::ConnectWait,
+                        start_ns,
+                        end_ns: ctx.now().as_nanos(),
+                    });
+                }
                 let action = {
                     let client = &mut self.clients[cid.0 as usize];
                     client.on_connected(ctx.now(), &mut self.metrics)
@@ -753,6 +852,11 @@ impl Model for Testbed {
                 }
                 self.disarm_client_timeout(ctx, cid);
                 self.rt[cid.0 as usize].conn = None;
+                if self.obs.on() {
+                    self.obs
+                        .requests
+                        .finish_all(conn.0, ctx.now().as_nanos(), EndReason::Reset);
+                }
                 let action = {
                     let client = &mut self.clients[cid.0 as usize];
                     client.on_reset(ctx.now(), &self.files, &mut self.metrics)
@@ -871,13 +975,31 @@ impl Model for Testbed {
             }
 
             Ev::CpuDone(token) => {
-                let (job, started) = self.cpu.complete(ctx.now(), token);
+                let (done, started) = self.cpu.complete_info(ctx.now(), token);
+                let job_service = done.service;
+                let job = done.payload;
                 for (tok, finish, _svc) in started {
                     ctx.schedule_at(finish, Ev::CpuDone(tok));
                 }
                 if let Some(c) = job.conn_ref() {
                     if let Some(rec) = self.conns.get_mut(&c) {
                         rec.pending_jobs = rec.pending_jobs.saturating_sub(1);
+                    }
+                }
+                // The job that produced the reply just finished executing:
+                // retroactively mark where its service slice began and where
+                // the transfer (pipeline wait + flow) takes over. Marks are
+                // monotone-clamped, so the breakdown invariants hold even
+                // when same-connection jobs overlap on a multi-worker lane.
+                if self.obs.on() && job.is_final_request_job() {
+                    if let Some(c) = job.conn_ref() {
+                        let end = ctx.now().as_nanos();
+                        self.obs.requests.mark_next(
+                            c.0,
+                            Stage::Service,
+                            end.saturating_sub(job_service.as_nanos()),
+                        );
+                        self.obs.requests.mark_next(c.0, Stage::Transfer, end);
                     }
                 }
                 match job {
@@ -897,6 +1019,17 @@ impl Model for Testbed {
                             }
                         }
                         if alive {
+                            if self.obs.on() {
+                                let end_ns = ctx.now().as_nanos();
+                                self.obs.spans.push(Span {
+                                    conn: conn.0,
+                                    req: None,
+                                    stage: Stage::Accept,
+                                    start_ns: end_ns
+                                        .saturating_sub(job_service.as_nanos()),
+                                    end_ns,
+                                });
+                            }
                             let lat = self.latency(self.conns[&conn].link);
                             ctx.schedule_in(lat, Ev::EstablishedAtClient(conn));
                         } else {
@@ -1031,6 +1164,23 @@ impl Model for Testbed {
                         format!("server idle-closes conn {} (will reset client)", conn.0),
                     );
                 }
+                // The connection sat idle for exactly the configured timeout
+                // (the timer is cancelled on any activity).
+                if self.obs.on() {
+                    let end_ns = ctx.now().as_nanos();
+                    let idle_ns = self
+                        .cfg
+                        .server_idle_timeout
+                        .map(|d| d.as_nanos())
+                        .unwrap_or(0);
+                    self.obs.spans.push(Span {
+                        conn: conn.0,
+                        req: None,
+                        stage: Stage::Idle,
+                        start_ns: end_ns.saturating_sub(idle_ns),
+                        end_ns,
+                    });
+                }
                 rec.net.close(ctx.now(), CloseKind::ServerIdleTimeout);
                 // The thread is reclaimed — the whole point of the policy.
                 self.free_thread(ctx, conn);
@@ -1082,6 +1232,16 @@ impl Model for Testbed {
                 self.metrics.set_measure_from(ctx.now());
             }
 
+            Ev::ObsSample => {
+                if self.obs.on() {
+                    self.sample_gauges(ctx.now());
+                    ctx.schedule_in(
+                        SimDuration::from_nanos(self.obs.sample_period_ns()),
+                        Ev::ObsSample,
+                    );
+                }
+            }
+
             Ev::EndRun => {
                 ctx.request_stop();
             }
@@ -1101,6 +1261,16 @@ impl Job {
             | Job::StageSend { conn: c, .. } => Some(c),
             Job::Reject | Job::Stall => None,
         }
+    }
+
+    /// True for the last CPU job of a request's server-side processing —
+    /// the one whose completion pushes the reply into the pipeline. Its
+    /// service slice is what the breakdown's `service` stage records.
+    fn is_final_request_job(&self) -> bool {
+        matches!(
+            self,
+            Job::ThreadedRequest { .. } | Job::EventKernel { .. } | Job::StageSend { .. }
+        )
     }
 }
 
@@ -1123,6 +1293,10 @@ pub fn run(cfg: TestbedConfig) -> Testbed {
         };
     let outages = cfg.link_outages.clone();
     let testbed = Testbed::new(cfg);
+    let obs_tick = testbed
+        .obs
+        .on()
+        .then(|| SimDuration::from_nanos(testbed.obs.sample_period_ns()));
     let mut engine = Engine::new(testbed, seed ^ 0xD15C_0DE5);
     let mut arrival_rng = Rng::new(seed ^ 0xA55E_55ED);
     for i in 0..n {
@@ -1135,6 +1309,9 @@ pub fn run(cfg: TestbedConfig) -> Testbed {
     for &(li, start, dur) in &outages {
         engine.schedule_at(SimTime::ZERO + start, Ev::LinkDown(li));
         engine.schedule_at(SimTime::ZERO + start + dur, Ev::LinkUp(li));
+    }
+    if let Some(period) = obs_tick {
+        engine.schedule_at(SimTime::ZERO + period, Ev::ObsSample);
     }
     engine.schedule_at(SimTime::ZERO + warmup, Ev::MeasureStart);
     engine.schedule_at(SimTime::ZERO + duration, Ev::EndRun);

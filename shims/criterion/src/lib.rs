@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot download the real criterion, so this shim
+//! provides a compatible API surface (`Criterion`, benchmark groups,
+//! `iter`/`iter_batched`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros) backed by a simple wall-clock harness: each
+//! benchmark is warmed up briefly, then timed over a fixed wall budget, and
+//! the mean ns/iter is printed. No statistics, plots, or baselines — the
+//! benches exist to exercise and roughly time hot paths, and the `repro`
+//! binary remains the source of truth for figures.
+
+use std::time::{Duration, Instant};
+
+/// Controls how `iter_batched` amortises setup. The shim runs one routine
+/// call per setup call regardless; the variants exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across all iterations.
+    elapsed: Duration,
+    /// Number of iterations measured.
+    iters: u64,
+    /// Wall budget for the measurement loop.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly until the wall budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warmup call outside the measurement.
+        std::hint::black_box(routine());
+        let loop_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if loop_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let loop_start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if loop_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no iterations)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let human = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!("{name:<48} {human:>12}/iter  ({} iters)", self.iters);
+    }
+}
+
+/// Top-level harness. `Default` gives a short per-bench wall budget suitable
+/// for smoke-timing; `CRITERION_BUDGET_MS` overrides it.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's budget is wall-clock, not
+    /// sample-count based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.budget = t;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Build a function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn iter_counts_iterations() {
+        let mut c = tiny();
+        c.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64 * 7)));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("epoll", 64).id, "epoll/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

@@ -1,0 +1,182 @@
+//! Schema equality across layers: a simulated `repro observe` capture and a
+//! live loadgen capture must emit the *same* JSONL schema — same `type`
+//! tags, same keys per record type — so one analysis pipeline reads both.
+
+#![cfg(target_os = "linux")]
+
+use desim::SimDuration;
+use eventscale::experiments::{observe, Scale};
+use httpcore::ContentStore;
+use obs::export::LINE_TYPES;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{FileSet, SurgeConfig};
+
+/// Top-level keys of one JSONL object line, in order. Minimal scanner for
+/// output this workspace itself rendered (no serde by policy).
+fn top_level_keys(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' => {
+                // Scan the string (keys and values both land here).
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let is_key = depth == 1 && bytes.get(j + 1) == Some(&b':');
+                if is_key {
+                    keys.push(line[start..j].to_string());
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+fn line_type(line: &str) -> String {
+    let keys = top_level_keys(line);
+    assert_eq!(keys.first().map(String::as_str), Some("type"), "{line}");
+    // `"type":"X"` is always the first pair by construction.
+    let rest = &line[line.find(':').unwrap() + 2..];
+    rest[..rest.find('"').unwrap()].to_string()
+}
+
+/// First line of each record type, keyed by tag.
+fn schema_of(doc: &str) -> Vec<(String, Vec<String>)> {
+    let mut seen: Vec<(String, Vec<String>)> = Vec::new();
+    for line in doc.lines() {
+        let t = line_type(line);
+        assert!(LINE_TYPES.contains(&t.as_str()), "unknown type {t}");
+        if !seen.iter().any(|(s, _)| *s == t) {
+            seen.push((t, top_level_keys(line)));
+        }
+    }
+    seen
+}
+
+fn sim_capture() -> String {
+    let scale = Scale {
+        loads: vec![40],
+        duration: SimDuration::from_secs(4),
+        warmup: SimDuration::from_secs(1),
+        ramp: SimDuration::from_millis(500),
+        seed: 11,
+    };
+    observe("fig1a", &scale).expect("catalog figure").to_jsonl()
+}
+
+fn live_capture() -> String {
+    let mut rng = desim::Rng::new(3);
+    let files = FileSet::build(
+        &SurgeConfig {
+            num_files: 30,
+            tail_prob: 0.0,
+            body_mu: 7.0,
+            ..SurgeConfig::default()
+        },
+        &mut rng,
+    );
+    let content = Arc::new(ContentStore::from_fileset(&files));
+    let server = nioserver::NioServer::start(nioserver::NioConfig {
+        workers: 1,
+        selector: nioserver::SelectorKind::Epoll,
+        content,
+    })
+    .expect("start server");
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = obs::spawn_sampler(
+        server.gauges(),
+        obs::gauge::kinds_for(false),
+        Duration::from_millis(5),
+        4096,
+        Arc::clone(&stop),
+    );
+    let cfg = loadgen::LoadConfig {
+        target: server.addr(),
+        clients: 4,
+        duration: Duration::from_millis(800),
+        client_timeout: Duration::from_secs(5),
+        think_scale: 0.005,
+        seed: 42,
+        obs: Some(obs::ObsConfig::default()),
+        ..Default::default()
+    };
+    let mut report = loadgen::run(&cfg, &files);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    report.obs.gauges.merge(sampler.join().expect("sampler"));
+    server.shutdown();
+    let meta = obs::ExportMeta::new("live", "nio-live")
+        .with("server", "nio-1w")
+        .with("clients", cfg.clients as u64);
+    obs::to_jsonl(&report.obs, &meta, 0)
+}
+
+#[test]
+fn sim_and_live_jsonl_share_one_schema() {
+    let sim = sim_capture();
+    let live = live_capture();
+
+    let sim_schema = schema_of(&sim);
+    let live_schema = schema_of(&live);
+
+    // Both captures exercise every record type, in emission order.
+    let tags = |s: &[(String, Vec<String>)]| -> Vec<String> {
+        s.iter().map(|(t, _)| t.clone()).collect()
+    };
+    assert_eq!(tags(&sim_schema), LINE_TYPES.to_vec());
+    assert_eq!(tags(&live_schema), LINE_TYPES.to_vec());
+
+    for ((t, sim_keys), (_, live_keys)) in sim_schema.iter().zip(&live_schema) {
+        if t == "meta" {
+            // Meta carries run-specific extras; the required header keys
+            // must be present and ordered identically in both.
+            for k in ["type", "source", "label", "t_unit"] {
+                assert!(sim_keys.contains(&k.to_string()), "sim meta lacks {k}");
+                assert!(live_keys.contains(&k.to_string()), "live meta lacks {k}");
+            }
+        } else {
+            assert_eq!(sim_keys, live_keys, "key mismatch for type {t}");
+        }
+    }
+
+    // Both declare their layer truthfully.
+    assert!(sim.lines().next().unwrap().contains(r#""source":"sim""#));
+    assert!(live.lines().next().unwrap().contains(r#""source":"live""#));
+
+    // Spot-check the invariant both layers promise: stage sums equal totals
+    // on every request line. Cheap string-free check via the tracker is done
+    // elsewhere; here we check the serialized form agrees with itself.
+    for doc in [&sim, &live] {
+        for line in doc.lines().filter(|l| l.contains(r#""type":"request""#)) {
+            let total: u64 = field_u64(line, "total_ns");
+            let sum: u64 = line
+                .split(r#""ns":"#)
+                .skip(1)
+                .map(|s| s[..s.find(['}', ','].as_ref()).unwrap()].parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(sum, total, "stages must sum to total: {line}");
+        }
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!(r#""{key}":"#);
+    let start = line.find(&pat).expect(key) + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'].as_ref()).unwrap();
+    rest[..end].parse().unwrap()
+}
