@@ -9,6 +9,9 @@
 //!   repro observe fig2b       # re-run one point with full observability
 //!                             # and explain why the curve bends there
 //!                             # (--json dumps the capture as JSONL)
+//!   repro chaos               # replay every named fault plan against both
+//!                             # architectures; report degradation and
+//!                             # time-to-recover (--smoke: CI subset)
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -25,13 +28,17 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
     let mut observe_mode = false;
+    let mut chaos_mode = false;
+    let mut smoke = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
             "observe" => observe_mode = true,
+            "chaos" => chaos_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -57,13 +64,14 @@ fn main() {
             "list" => {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
-                println!("robustness:       sensitivity");
+                println!("robustness:       sensitivity chaos");
+                println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
                 println!("extensions:       {}", EXTENSION_IDS.join(" "));
                 std::process::exit(0);
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [observe] [all | ext | everything | fig1a ...] [--quick] [--json PATH]"
+                    "usage: repro [observe] [all | ext | everything | chaos | fig1a ...] [--quick] [--smoke] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -79,8 +87,25 @@ fn main() {
         }
         i += 1;
     }
+    if chaos_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_chaos(smoke);
+        println!("{}", experiments::render_chaos(&report));
+        println!("{}", render_checks(&report.checks));
+        let failed = report.checks.iter().filter(|c| !c.pass).count();
+        println!(
+            "  ({} runs, {:.1}s)\n",
+            report.runs.len(),
+            start.elapsed().as_secs_f64()
+        );
+        if failed > 0 {
+            eprintln!("{failed} chaos check(s) FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
     if ids.is_empty() {
-        eprintln!("usage: repro [all | ext | everything | fig1a ...] [--quick] [--json PATH]");
+        eprintln!("usage: repro [all | ext | everything | chaos | fig1a ...] [--quick] [--smoke] [--json PATH]");
         std::process::exit(2);
     }
     ids.dedup();

@@ -14,6 +14,7 @@
 
 use crate::metrics::ClientMetrics;
 use desim::{Rng, SimDuration, SimTime};
+use faults::RetryPolicy;
 use metrics::ClientError;
 use workload::{FileId, FileSet, SessionConfig, SessionPlan};
 
@@ -36,6 +37,10 @@ pub struct ClientConfig {
     pub session: SessionConfig,
     /// Approximate bytes of an HTTP request on the wire (for accounting).
     pub request_bytes: u64,
+    /// Opt-in recovery: reconnect after errors with capped exponential
+    /// backoff + jitter instead of immediately. `None` (the default)
+    /// reproduces the paper's httperf behaviour exactly.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ClientConfig {
@@ -46,6 +51,7 @@ impl Default for ClientConfig {
             refusal_backoff: SimDuration::from_secs(1),
             session: SessionConfig::default(),
             request_bytes: 300,
+            retry: None,
         }
     }
 }
@@ -95,6 +101,9 @@ pub struct Client {
     connect_started: Option<SimTime>,
     /// Requests completed in the current session (for abort accounting).
     session_had_error: bool,
+    /// Consecutive errors since the last successful establishment, used to
+    /// escalate the retry backoff when a policy is configured.
+    retry_attempt: u32,
 }
 
 impl Client {
@@ -112,6 +121,7 @@ impl Client {
             outstanding: std::collections::VecDeque::new(),
             connect_started: None,
             session_had_error: false,
+            retry_attempt: 0,
         }
     }
 
@@ -168,7 +178,44 @@ impl Client {
         let started = self.connect_started.expect("no connect start recorded");
         m.record_connect(now, now.saturating_since(started));
         self.connect_started = None;
+        self.retry_attempt = 0;
         self.start_burst(now, m)
+    }
+
+    /// Post-error reconnect action. Without a retry policy the client
+    /// reconnects immediately (or after `fallback`, when the caller has
+    /// one — the refusal path). With one, consecutive errors escalate a
+    /// capped exponential backoff with jitter drawn from the client's own
+    /// deterministic RNG stream; the escalation ladder resets after
+    /// `max_retries` rungs (and on any successful establishment).
+    fn reconnect_action(
+        &mut self,
+        now: SimTime,
+        fallback: Option<SimDuration>,
+        m: &mut ClientMetrics,
+    ) -> ClientAction {
+        let Some(policy) = self.cfg.retry else {
+            return match fallback {
+                Some(d) => {
+                    self.connect_started = Some(now + d);
+                    ClientAction::ConnectAfter(d)
+                }
+                None => {
+                    self.connect_started = Some(now);
+                    ClientAction::Connect
+                }
+            };
+        };
+        let attempt = self.retry_attempt;
+        self.retry_attempt = if attempt >= policy.max_retries {
+            0
+        } else {
+            attempt + 1
+        };
+        m.record_retry(now);
+        let d = SimDuration::from_nanos(policy.backoff_ns(attempt, self.rng.f64()));
+        self.connect_started = Some(now + d);
+        ClientAction::ConnectAfter(d)
     }
 
     fn start_burst(&mut self, now: SimTime, m: &mut ClientMetrics) -> ClientAction {
@@ -241,8 +288,7 @@ impl Client {
         m.record_session_end(now, false);
         self.fresh_session(files);
         self.phase = ClientPhase::Connecting;
-        self.connect_started = Some(now);
-        ClientAction::Connect
+        self.reconnect_action(now, None, m)
     }
 
     /// The server reset the connection (its idle timeout closed it and the
@@ -257,8 +303,7 @@ impl Client {
         m.record_session_end(now, false);
         self.fresh_session(files);
         self.phase = ClientPhase::Connecting;
-        self.connect_started = Some(now);
-        ClientAction::Connect
+        self.reconnect_action(now, None, m)
     }
 
     /// The server refused the connection (backlog overflow observed as an
@@ -274,8 +319,7 @@ impl Client {
         m.record_session_end(now, false);
         self.fresh_session(files);
         // Remain in Connecting; the retry IS the next connect attempt.
-        self.connect_started = Some(now + self.cfg.refusal_backoff);
-        ClientAction::ConnectAfter(self.cfg.refusal_backoff)
+        self.reconnect_action(now, Some(self.cfg.refusal_backoff), m)
     }
 
     /// The burst the client is about to send in `on_think_done` — exposed
@@ -390,6 +434,42 @@ mod tests {
         );
         assert_eq!(m.errors.connection_refused, 1);
         assert_eq!(c.phase(), ClientPhase::Connecting);
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let root = Rng::new(7);
+        let mut build_rng = Rng::new(8);
+        let files = FileSet::build(&SurgeConfig::default(), &mut build_rng);
+        let cfg = ClientConfig {
+            retry: Some(RetryPolicy {
+                max_retries: 3,
+                base_ns: 100_000_000,
+                cap_ns: 1_000_000_000,
+                jitter_frac: 0.0,
+            }),
+            ..ClientConfig::default()
+        };
+        let mut c = Client::new(ClientId(0), cfg, &files, &root);
+        let mut m = ClientMetrics::new(SimDuration::from_secs(1));
+        c.on_start(t(0));
+        c.on_connected(t(1), &mut m);
+        // Consecutive timeouts escalate the backoff: 100 ms, 200 ms, 400 ms.
+        let mut delays = Vec::new();
+        for _ in 0..3 {
+            match c.on_timeout(t(20_000), &files, &mut m) {
+                ClientAction::ConnectAfter(d) => delays.push(d.as_nanos()),
+                other => panic!("expected backoff, got {other:?}"),
+            }
+        }
+        assert_eq!(delays, vec![100_000_000, 200_000_000, 400_000_000]);
+        assert_eq!(m.traffic.retries, 3);
+        // A successful establishment resets the ladder.
+        c.on_connected(t(21_000), &mut m);
+        match c.on_timeout(t(40_000), &files, &mut m) {
+            ClientAction::ConnectAfter(d) => assert_eq!(d.as_nanos(), 100_000_000),
+            other => panic!("expected backoff, got {other:?}"),
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub struct ClientMetrics {
     pub timeout_series: WindowedSeries,
     /// Connection-reset errors per window (figure 3b).
     pub reset_series: WindowedSeries,
+    /// Explicit connection refusals per window (admission control and
+    /// graceful drain make these; silent SYN drops do not).
+    pub refused_series: WindowedSeries,
     /// Error totals by kind.
     pub errors: ErrorCounters,
     /// Request/reply/session/byte totals.
@@ -34,6 +37,7 @@ impl ClientMetrics {
             replies: WindowedSeries::new(window),
             timeout_series: WindowedSeries::new(window),
             reset_series: WindowedSeries::new(window),
+            refused_series: WindowedSeries::new(window),
             errors: ErrorCounters::default(),
             traffic: TrafficCounters::default(),
             measure_from: SimTime::ZERO,
@@ -87,10 +91,18 @@ impl ClientMetrics {
         match kind {
             ClientError::ClientTimeout => self.timeout_series.record_one(now),
             ClientError::ConnectionReset => self.reset_series.record_one(now),
+            ClientError::ConnectionRefused => self.refused_series.record_one(now),
             _ => {}
         }
         if self.measuring(now) {
             self.errors.record(kind);
+        }
+    }
+
+    /// The client scheduled a policy-driven reconnect after an error.
+    pub fn record_retry(&mut self, now: SimTime) {
+        if self.measuring(now) {
+            self.traffic.retries += 1;
         }
     }
 

@@ -16,7 +16,7 @@ pub struct Check {
 }
 
 impl Check {
-    fn new(name: &str, pass: bool, detail: String) -> Check {
+    pub(crate) fn new(name: &str, pass: bool, detail: String) -> Check {
         Check {
             name: name.to_string(),
             pass,

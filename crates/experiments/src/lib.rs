@@ -9,6 +9,7 @@
 //! * [`sensitivity`] — do the conclusions survive cost perturbations?
 
 pub mod catalog;
+pub mod chaos;
 pub mod checks;
 pub mod figure;
 pub mod observe;
@@ -17,6 +18,7 @@ pub mod sweep;
 pub mod tables;
 
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
+pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
 pub use checks::{check_figure, render_checks, Check};
 pub use figure::{Figure, Metric, Series};
 pub use observe::{observe, Observation};

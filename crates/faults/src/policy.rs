@@ -1,0 +1,127 @@
+//! Overload-control and recovery policies: admission control on the server
+//! side, capped exponential backoff on the client side, and drain
+//! accounting for graceful shutdown. All knobs default to *off* so paper
+//! figures are reproduced byte-for-byte unless a caller opts in.
+
+/// Server-side admission control. When enabled, a server refuses new
+/// connections *explicitly* (the client observes `conn-refused`, distinct
+/// from a reset) instead of silently dropping SYNs to be retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionControl {
+    /// Refuse explicitly when the accept backlog is full, rather than
+    /// dropping the SYN and letting the client's retransmit timer fire.
+    pub refuse_on_full: bool,
+    /// Shed load once run-queue depth (event-driven) or pool occupancy
+    /// (threaded) reaches this watermark: new connections are refused until
+    /// pressure falls below it again.
+    pub shed_watermark: Option<u64>,
+}
+
+impl AdmissionControl {
+    /// Anything enabled at all?
+    pub fn is_active(&self) -> bool {
+        self.refuse_on_full || self.shed_watermark.is_some()
+    }
+}
+
+/// Client-side retry with capped exponential backoff plus full jitter.
+/// Opt-in: no config carries one by default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Give up (abort the session) after this many consecutive retries.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_ns: u64,
+    /// Ceiling the exponential curve saturates at.
+    pub cap_ns: u64,
+    /// Fraction of the computed backoff randomised away (0 = deterministic,
+    /// 1 = full jitter). Jitter only ever *shortens* the wait, so `cap_ns`
+    /// stays an upper bound.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// A sane default for experiments: 4 retries, 250 ms base, 4 s cap,
+    /// half jitter.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_ns: 250_000_000,
+            cap_ns: 4_000_000_000,
+            jitter_frac: 0.5,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based), given `unit` drawn
+    /// uniformly from [0, 1) by the caller's deterministic RNG stream.
+    pub fn backoff_ns(&self, attempt: u32, unit: f64) -> u64 {
+        let shift = attempt.min(62);
+        let exp = self.base_ns.saturating_mul(1u64 << shift).min(self.cap_ns);
+        let jitter = (exp as f64 * self.jitter_frac.clamp(0.0, 1.0) * unit) as u64;
+        exp - jitter
+    }
+}
+
+/// Outcome of a graceful drain: how many connections finished cleanly
+/// within the deadline vs. how many were cut off with work still pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    pub drained: u64,
+    pub aborted: u64,
+}
+
+impl DrainReport {
+    pub fn total(&self) -> u64 {
+        self.drained + self.aborted
+    }
+
+    pub fn render(&self) -> String {
+        format!("drained {} aborted {}", self.drained, self.aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_ns: 100,
+            cap_ns: 1000,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.backoff_ns(0, 0.5), 100);
+        assert_eq!(p.backoff_ns(1, 0.5), 200);
+        assert_eq!(p.backoff_ns(2, 0.5), 400);
+        assert_eq!(p.backoff_ns(3, 0.5), 800);
+        assert_eq!(p.backoff_ns(4, 0.5), 1000);
+        assert_eq!(p.backoff_ns(63, 0.5), 1000);
+    }
+
+    #[test]
+    fn jitter_only_shortens() {
+        let p = RetryPolicy::standard();
+        let full = p.backoff_ns(2, 0.0);
+        assert!(p.backoff_ns(2, 0.999) < full);
+        assert!(p.backoff_ns(2, 0.999) >= full / 2);
+    }
+
+    #[test]
+    fn admission_default_is_inert() {
+        assert!(!AdmissionControl::default().is_active());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn backoff_bounded_by_cap(attempt in 0u32..80, unit in 0f64..1.0) {
+            let p = RetryPolicy::standard();
+            let b = p.backoff_ns(attempt, unit);
+            prop_assert!(b <= p.cap_ns);
+            prop_assert!(b >= 1); // never a zero-length busy retry
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Degradation-under-fault and time-to-recover, computed from a per-second
+//! reply-rate series and the fault window. Layer-agnostic: the sim feeds it
+//! virtual-time windows, the live driver feeds wall-clock ones.
+
+/// Summary of how a run behaved around one fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultImpact {
+    /// Mean reply rate in the healthy window before the fault (after warmup).
+    pub before_rps: f64,
+    /// Mean reply rate while the fault held.
+    pub during_rps: f64,
+    /// Mean reply rate from fault end to the end of the series.
+    pub after_rps: f64,
+    /// Seconds after the fault cleared until throughput first regained
+    /// `RECOVERY_FRACTION` of the pre-fault rate, or `None` if it never did.
+    pub time_to_recover_s: Option<f64>,
+}
+
+/// A second counts as "recovered" once it reaches this fraction of the
+/// pre-fault mean.
+pub const RECOVERY_FRACTION: f64 = 0.8;
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+impl FaultImpact {
+    /// Compute impact from `rates` (one sample per second, starting at t=0),
+    /// a fault window `[fault_start_s, fault_end_s)`, and the measurement
+    /// warmup. Seconds straddling a window edge are excluded from both
+    /// sides so ramp effects don't blur the comparison.
+    pub fn from_rates(
+        rates: &[f64],
+        warmup_s: usize,
+        fault_start_s: usize,
+        fault_end_s: usize,
+    ) -> FaultImpact {
+        let before_end = fault_start_s.min(rates.len());
+        let before = &rates[warmup_s.min(before_end)..before_end];
+        let during_start = (fault_start_s + 1).min(rates.len());
+        let during = &rates[during_start..fault_end_s.min(rates.len())];
+        let after_start = (fault_end_s + 1).min(rates.len());
+        let after = &rates[after_start..];
+
+        let before_rps = mean(before);
+        let threshold = before_rps * RECOVERY_FRACTION;
+        let time_to_recover_s = after
+            .iter()
+            .position(|&r| r >= threshold)
+            .map(|i| (i + 1) as f64);
+
+        FaultImpact {
+            before_rps,
+            during_rps: mean(during),
+            after_rps: mean(after),
+            time_to_recover_s,
+        }
+    }
+
+    /// Throughput lost while the fault held, as a fraction of the healthy
+    /// rate (0 = unaffected, 1 = total outage).
+    pub fn degradation(&self) -> f64 {
+        if self.before_rps <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.during_rps / self.before_rps).clamp(0.0, 1.0)
+    }
+
+    /// Did throughput come back at all?
+    pub fn recovered(&self) -> bool {
+        self.time_to_recover_s.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_windows_and_recovery() {
+        // warmup 2 s, healthy 100 rps, outage at 5–8 s, back to healthy
+        // one second after the fault clears.
+        let rates = [
+            10.0, 50.0, 100.0, 100.0, 100.0, // 0..5 (warmup + before)
+            0.0, 0.0, 0.0, // 5..8 during
+            40.0, 90.0, 100.0, 100.0, // 8.. after
+        ];
+        let fi = FaultImpact::from_rates(&rates, 2, 5, 8);
+        assert!((fi.before_rps - 100.0).abs() < 1e-9);
+        assert!((fi.during_rps - 0.0).abs() < 1e-9);
+        assert!(fi.degradation() > 0.99);
+        // Second 8 straddles the edge and is excluded; second 9 (90 rps)
+        // crosses the 80-rps threshold — one second into the after-window.
+        assert_eq!(fi.time_to_recover_s, Some(1.0));
+        assert!(fi.recovered());
+    }
+
+    #[test]
+    fn never_recovering_is_none() {
+        let rates = [100.0, 100.0, 100.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let fi = FaultImpact::from_rates(&rates, 0, 3, 5);
+        assert_eq!(fi.time_to_recover_s, None);
+        assert!(!fi.recovered());
+    }
+
+    #[test]
+    fn empty_series_is_harmless() {
+        let fi = FaultImpact::from_rates(&[], 0, 5, 10);
+        assert_eq!(fi.before_rps, 0.0);
+        assert_eq!(fi.degradation(), 0.0);
+    }
+}

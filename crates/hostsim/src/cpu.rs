@@ -143,6 +143,13 @@ impl<P> Cpu<P> {
         self.stats
     }
 
+    /// Start whatever queued work is now eligible — call after raising a
+    /// lane cap (e.g. crashed workers restarting), which frees slots
+    /// without any job completing. Returns started jobs like [`Cpu::submit`].
+    pub fn kick(&mut self, now: SimTime) -> Vec<(JobToken, SimTime, SimDuration)> {
+        self.try_start(now)
+    }
+
     /// Submit a job to a lane. Returns the jobs that *started* as a result
     /// (the submitted one, if a processor and lane slot were free; empty
     /// otherwise). The caller schedules a completion event per started job.

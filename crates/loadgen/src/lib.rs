@@ -37,6 +37,11 @@ pub struct LoadConfig {
     /// breakdowns). `None` (the default) records nothing and costs one
     /// branch per hook — mirrors `TestbedConfig::obs` on the sim side.
     pub obs: Option<ObsConfig>,
+    /// Opt-in retry with capped exponential backoff + jitter after a failed
+    /// session (connect error, refusal, reset, timeout). `None` (the
+    /// default) preserves the faithful httperf behaviour: fail, count, move
+    /// on. Mirrors `ClientConfig::retry` on the sim side.
+    pub retry: Option<faults::RetryPolicy>,
 }
 
 impl Default for LoadConfig {
@@ -50,6 +55,7 @@ impl Default for LoadConfig {
             think_scale: 1.0,
             seed: 0x010A_D6E4,
             obs: None,
+            retry: None,
         }
     }
 }
@@ -62,6 +68,9 @@ pub struct LoadReport {
     pub bytes_received: u64,
     pub sessions_completed: u64,
     pub sessions_aborted: u64,
+    /// Backoff-delayed re-attempts taken under `LoadConfig::retry` (counted
+    /// separately — never folded into `requests` or the error counters).
+    pub retries: u64,
     pub errors: ErrorCounters,
     /// Per-reply response time, µs.
     pub response_time_us: Histogram,
@@ -83,6 +92,7 @@ impl LoadReport {
             bytes_received: 0,
             sessions_completed: 0,
             sessions_aborted: 0,
+            retries: 0,
             errors: ErrorCounters::default(),
             response_time_us: Histogram::default_precision(),
             connect_time_us: Histogram::default_precision(),
@@ -97,6 +107,7 @@ impl LoadReport {
         self.bytes_received += other.bytes_received;
         self.sessions_completed += other.sessions_completed;
         self.sessions_aborted += other.sessions_aborted;
+        self.retries += other.retries;
         self.errors.merge(&other.errors);
         self.response_time_us.merge(&other.response_time_us);
         self.connect_time_us.merge(&other.connect_time_us);
@@ -109,7 +120,7 @@ impl LoadReport {
             "replies: {} ({:.0}/s)  requests: {}  bytes: {}\n\
              response time: mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms\n\
              connect time:  mean {:.2} ms\n\
-             sessions: {} completed, {} aborted\n\
+             sessions: {} completed, {} aborted ({} retries)\n\
              errors: {} client-timeout, {} connection-reset, {} refused, {} socket",
             self.replies,
             self.throughput_rps(),
@@ -121,6 +132,7 @@ impl LoadReport {
             self.connect_time_us.mean() / 1000.0,
             self.sessions_completed,
             self.sessions_aborted,
+            self.retries,
             self.errors.client_timeout,
             self.errors.connection_reset,
             self.errors.connection_refused,
@@ -176,6 +188,38 @@ enum ExchangeEnd {
     OtherError,
 }
 
+/// After a failed session: sleep the retry policy's capped-exponential
+/// backoff (with jitter) and count the retry, or — with no policy — just the
+/// fixed pacing delay `fallback` the faithful path always used.
+fn backoff_or_pace(
+    cfg: &LoadConfig,
+    report: &mut LoadReport,
+    attempt: &mut u32,
+    rng: &mut Rng,
+    deadline: Instant,
+    fallback: Duration,
+) {
+    let wait = match &cfg.retry {
+        Some(policy) if *attempt < policy.max_retries => {
+            report.retries += 1;
+            let ns = policy.backoff_ns(*attempt, rng.f64());
+            *attempt += 1;
+            Duration::from_nanos(ns)
+        }
+        Some(_) => {
+            // Retry budget exhausted: give up on this streak and start the
+            // next session (if any) from a cold backoff curve.
+            *attempt = 0;
+            fallback
+        }
+        None => fallback,
+    };
+    let wait = wait.min(deadline.saturating_duration_since(Instant::now()));
+    if !wait.is_zero() {
+        std::thread::sleep(wait);
+    }
+}
+
 fn classify(e: &io::Error) -> ExchangeEnd {
     match e.kind() {
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ExchangeEnd::Timeout,
@@ -202,10 +246,14 @@ fn client_loop(
     // Connection ids unique across client threads so merged captures never
     // collide: high bits carry the thread id.
     let mut conn_seq: u64 = 0;
+    // Consecutive failed sessions (drives the backoff curve under
+    // `cfg.retry`); reset by any successful connect.
+    let mut retry_attempt: u32 = 0;
     'sessions: while Instant::now() < deadline {
         let plan = SessionPlan::generate(&cfg.session, files, &mut rng);
         conn_seq += 1;
         let conn = (id << 32) | conn_seq;
+        let replies_before = report.replies;
         // Connect (measured).
         let t0 = Instant::now();
         let remaining = deadline.saturating_duration_since(t0);
@@ -219,16 +267,40 @@ fn client_loop(
         let mut stream = match stream {
             Ok(s) => s,
             Err(e) => {
-                match classify(&e) {
+                let end = classify(&e);
+                match end {
                     ExchangeEnd::Timeout => report.errors.record(ClientError::ClientTimeout),
-                    ExchangeEnd::Reset => report.errors.record(ClientError::ConnectionReset),
+                    // Any hard failure *during connect* — ECONNREFUSED, or a
+                    // RST racing the handshake (the shed watermark's
+                    // SO_LINGER(0) close) — is the server turning us away at
+                    // the door: conn-refused, never conn-reset.
                     _ => report.errors.record(ClientError::ConnectionRefused),
                 }
+                if report.obs.on() {
+                    // A refused/failed connect still leaves a typed record:
+                    // a one-stage ConnectWait request — same shape the
+                    // simulator emits for an explicit refusal.
+                    let reason = match end {
+                        ExchangeEnd::Timeout => EndReason::Timeout,
+                        _ => EndReason::Refused,
+                    };
+                    let t = t0.saturating_duration_since(epoch).as_nanos() as u64;
+                    report.obs.requests.begin(conn, t, Stage::ConnectWait);
+                    report.obs.requests.finish_next(conn, ns_since(epoch), reason);
+                }
                 report.sessions_aborted += 1;
-                std::thread::sleep(Duration::from_millis(20));
+                backoff_or_pace(
+                    cfg,
+                    &mut report,
+                    &mut retry_attempt,
+                    &mut rng,
+                    deadline,
+                    Duration::from_millis(20),
+                );
                 continue;
             }
         };
+        retry_attempt = 0;
         report
             .connect_time_us
             .record(t0.elapsed().as_micros() as u64);
@@ -264,12 +336,19 @@ fn client_loop(
                 &mut scratch,
                 &mut report,
             );
+            // A reset before the very first reply of a session is the
+            // accept-path refusing us (shed watermark's SO_LINGER(0) close,
+            // or a drain racing the accept): classify it as a refusal, not
+            // a mid-stream reset.
+            let refused_at_door =
+                matches!(end, ExchangeEnd::Reset) && bi == 0 && report.replies == replies_before;
             if report.obs.on() {
                 // Close out whatever the burst left in flight with the
                 // EndReason the error classification implies.
                 let reason = match end {
                     ExchangeEnd::Ok => None,
                     ExchangeEnd::Timeout => Some(EndReason::Timeout),
+                    ExchangeEnd::Reset if refused_at_door => Some(EndReason::Refused),
                     ExchangeEnd::Reset => Some(EndReason::Reset),
                     ExchangeEnd::OtherError => Some(EndReason::Closed),
                 };
@@ -282,16 +361,44 @@ fn client_loop(
                 ExchangeEnd::Timeout => {
                     report.errors.record(ClientError::ClientTimeout);
                     report.sessions_aborted += 1;
+                    backoff_or_pace(
+                        cfg,
+                        &mut report,
+                        &mut retry_attempt,
+                        &mut rng,
+                        deadline,
+                        Duration::ZERO,
+                    );
                     continue 'sessions;
                 }
                 ExchangeEnd::Reset => {
-                    report.errors.record(ClientError::ConnectionReset);
+                    report.errors.record(if refused_at_door {
+                        ClientError::ConnectionRefused
+                    } else {
+                        ClientError::ConnectionReset
+                    });
                     report.sessions_aborted += 1;
+                    backoff_or_pace(
+                        cfg,
+                        &mut report,
+                        &mut retry_attempt,
+                        &mut rng,
+                        deadline,
+                        Duration::ZERO,
+                    );
                     continue 'sessions;
                 }
                 ExchangeEnd::OtherError => {
                     report.errors.record(ClientError::SocketError);
                     report.sessions_aborted += 1;
+                    backoff_or_pace(
+                        cfg,
+                        &mut report,
+                        &mut retry_attempt,
+                        &mut rng,
+                        deadline,
+                        Duration::ZERO,
+                    );
                     continue 'sessions;
                 }
             }
@@ -425,6 +532,7 @@ mod tests {
             think_scale: 0.005,
             seed: 42,
             obs: None,
+            retry: None,
         }
     }
 
@@ -435,6 +543,7 @@ mod tests {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
+            shed_watermark: None,
             content,
         })
         .unwrap();
@@ -454,6 +563,7 @@ mod tests {
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 8,
             idle_timeout: None,
+            shed_watermark: None,
             content,
         })
         .unwrap();
@@ -473,6 +583,7 @@ mod tests {
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 8,
             idle_timeout: Some(Duration::from_millis(300)),
+            shed_watermark: None,
             content,
         })
         .unwrap();
@@ -503,6 +614,7 @@ mod tests {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
+            shed_watermark: None,
             content,
         })
         .unwrap();
@@ -562,5 +674,82 @@ mod tests {
         assert_eq!(report.replies, 0);
         assert!(report.errors.connection_refused > 0);
         assert!(report.sessions_aborted > 0);
+        assert_eq!(report.retries, 0, "no retry policy, no retries");
+    }
+
+    #[test]
+    fn retry_policy_backs_off_and_counts() {
+        // Dead port + retry policy: each client burns its retry budget with
+        // exponential pauses instead of hammering every 20 ms.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let files = small_files();
+        let cfg = LoadConfig {
+            clients: 2,
+            duration: Duration::from_millis(500),
+            retry: Some(faults::RetryPolicy {
+                max_retries: 16,
+                base_ns: 10_000_000, // 10 ms so the test stays fast
+                cap_ns: 200_000_000,
+                jitter_frac: 0.0,
+            }),
+            ..quick_cfg(addr)
+        };
+        let report = run(&cfg, &files);
+        assert_eq!(report.replies, 0);
+        assert!(report.retries > 0, "retries {}", report.retries);
+        assert!(report.errors.connection_refused > 0);
+        // Backoff pacing means far fewer attempts than the no-policy path's
+        // 20 ms spin would produce in the same window.
+        assert!(
+            report.sessions_aborted < 25,
+            "backoff not applied: {} aborts",
+            report.sessions_aborted
+        );
+    }
+
+    #[test]
+    fn shed_refusals_classify_as_refused_not_reset() {
+        // Watermark 0: the pool server abortively closes every accepted
+        // connection before serving a byte. The generator must file these
+        // under conn-refused (explicit refusal), not connection-reset.
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = poolserver::PoolServer::start(poolserver::PoolConfig {
+            pool_size: 4,
+            idle_timeout: None,
+            shed_watermark: Some(0),
+            content,
+        })
+        .unwrap();
+        let mut cfg = LoadConfig {
+            clients: 3,
+            duration: Duration::from_millis(500),
+            ..quick_cfg(server.addr())
+        };
+        cfg.obs = Some(obs::ObsConfig::default());
+        let report = run(&cfg, &files);
+        assert_eq!(report.replies, 0);
+        assert!(
+            report.errors.connection_refused > 0,
+            "expected refusals: {:?}",
+            report.errors
+        );
+        assert_eq!(
+            report.errors.connection_reset, 0,
+            "shed refusal misfiled as reset: {:?}",
+            report.errors
+        );
+        assert!(server.stats().refused.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        // The obs capture records them with the Refused end reason.
+        assert!(report
+            .obs
+            .requests
+            .completed()
+            .iter()
+            .any(|b| b.end == EndReason::Refused));
+        server.shutdown();
     }
 }

@@ -109,6 +109,9 @@ pub struct TrafficCounters {
     pub bytes_received: u64,
     /// Application bytes sent (request lines + headers).
     pub bytes_sent: u64,
+    /// Reconnect attempts made under an opt-in retry policy. Counted apart
+    /// from errors: a retried refusal is one refusal *and* one retry.
+    pub retries: u64,
 }
 
 impl TrafficCounters {
@@ -121,6 +124,7 @@ impl TrafficCounters {
         self.sessions_aborted += other.sessions_aborted;
         self.bytes_received += other.bytes_received;
         self.bytes_sent += other.bytes_sent;
+        self.retries += other.retries;
     }
 }
 

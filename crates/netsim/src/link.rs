@@ -190,6 +190,14 @@ impl PsLink {
         self.config.capacity_bps = capacity_bps;
     }
 
+    /// Change the link's propagation latency — used for jitter-injection
+    /// faults. Only future latency reads see it; transfers in flight keep
+    /// the bandwidth share math untouched (latency is applied per hop by
+    /// the testbed, not by the fluid model).
+    pub fn set_latency(&mut self, latency: SimDuration) {
+        self.config.latency = latency;
+    }
+
     /// Instantaneous per-flow throughput in bytes/second.
     pub fn per_flow_rate(&self) -> f64 {
         let n = self.by_finish.len();

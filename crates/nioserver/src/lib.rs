@@ -13,9 +13,19 @@
 //! The server never applies an inactivity timeout to its clients (it has no
 //! thread bound to them to reclaim), which is why it produces zero
 //! connection-reset errors in figure 3(b).
+//!
+//! Robustness layer: the acceptor sheds load above `shed_watermark` open
+//! connections and survives worker crashes by re-routing to the remaining
+//! workers; [`NioServer::shutdown_graceful`] drains — idle connections
+//! close immediately, in-flight responses finish, and whatever is still
+//! unflushed at the deadline is cut and reported as aborted. The
+//! [`faults::FaultTarget`] hooks stall accepts and crash/restart workers
+//! under a fault plan.
 
+use faults::DrainReport;
 use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
 use obs::{GaugeKind, LiveGauges};
+use parking_lot::Mutex;
 use reactor::{Event, Interest, Selector, Token, Waker};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -23,7 +33,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which selector backend the workers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +50,9 @@ pub struct NioConfig {
     /// Worker (selector) threads. The paper's headline: 1–2 suffice.
     pub workers: usize,
     pub selector: SelectorKind,
+    /// Load shedding: refuse new connections (abortive close on accept)
+    /// while at least this many connections are open. None = admit all.
+    pub shed_watermark: Option<u64>,
     /// Content to serve.
     pub content: Arc<ContentStore>,
 }
@@ -51,15 +64,43 @@ pub struct NioStats {
     pub requests: AtomicU64,
     pub bytes_sent: AtomicU64,
     pub parse_errors: AtomicU64,
+    /// Connections refused by the load-shedding watermark.
+    pub refused: AtomicU64,
+    /// Worker threads currently running (drops when a fault crashes one).
+    pub alive_workers: AtomicU64,
+    /// Fault injections consumed: workers that crashed on request.
+    pub worker_crashes: AtomicU64,
+}
+
+/// Shared control state: shutdown/drain flags and fault hooks.
+#[derive(Default)]
+struct NioCtl {
+    stop: AtomicBool,
+    draining: AtomicBool,
+    accepts_stalled: AtomicBool,
+    /// Pending crash requests; a worker consuming one exits.
+    crash_tokens: AtomicU64,
+    drained: AtomicU64,
+    aborted: AtomicU64,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+/// One worker's handover channel, shared with the acceptor (and with
+/// `restart_worker`, which appends fresh links).
+struct WorkerLink {
+    tx: crossbeam::channel::Sender<TcpStream>,
+    waker: Arc<Waker>,
 }
 
 /// Handle to a running server; dropping it stops the server.
 pub struct NioServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    config: NioConfig,
+    ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    links: Arc<Mutex<Vec<WorkerLink>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl NioServer {
@@ -69,46 +110,49 @@ impl NioServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(NioStats::default());
-        let gauges = Arc::new(LiveGauges::new());
-
-        // Channels: acceptor → workers, round-robin, with a self-pipe waker
-        // per worker so a handed-over connection is adopted immediately
-        // (Java NIO's Selector.wakeup()).
-        let mut senders = Vec::new();
-        let mut threads = Vec::new();
-        for w in 0..config.workers {
-            let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
-            let waker = Arc::new(Waker::new()?);
-            senders.push((tx, Arc::clone(&waker)));
-            let stop_w = Arc::clone(&stop);
-            let stats_w = Arc::clone(&stats);
-            let gauges_w = Arc::clone(&gauges);
-            let cfg = config.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("nio-worker-{w}"))
-                    .spawn(move || worker_loop(cfg, rx, waker, stop_w, stats_w, gauges_w))
-                    .expect("spawn worker"),
-            );
+        let server = NioServer {
+            addr,
+            config: config.clone(),
+            ctl: Arc::new(NioCtl::default()),
+            stats: Arc::new(NioStats::default()),
+            gauges: Arc::new(LiveGauges::new()),
+            links: Arc::new(Mutex::new(Vec::new())),
+            threads: Mutex::new(Vec::new()),
+        };
+        for _ in 0..config.workers {
+            server.spawn_worker()?;
         }
-        let stop_a = Arc::clone(&stop);
-        let stats_a = Arc::clone(&stats);
-        let gauges_a = Arc::clone(&gauges);
-        threads.push(
+        let ctl = Arc::clone(&server.ctl);
+        let stats = Arc::clone(&server.stats);
+        let gauges = Arc::clone(&server.gauges);
+        let links = Arc::clone(&server.links);
+        let cfg = config;
+        server.threads.lock().push(
             std::thread::Builder::new()
                 .name("nio-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, senders, stop_a, stats_a, gauges_a))
+                .spawn(move || acceptor_loop(cfg, listener, links, ctl, stats, gauges))
                 .expect("spawn acceptor"),
         );
-        Ok(NioServer {
-            addr,
-            stop,
-            stats,
-            gauges,
-            threads,
-        })
+        Ok(server)
+    }
+
+    fn spawn_worker(&self) -> io::Result<()> {
+        let w = self.links.lock().len();
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let waker = Arc::new(Waker::new()?);
+        self.links.lock().push(WorkerLink {
+            tx,
+            waker: Arc::clone(&waker),
+        });
+        let ctl = Arc::clone(&self.ctl);
+        let stats = Arc::clone(&self.stats);
+        let gauges = Arc::clone(&self.gauges);
+        let cfg = self.config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("nio-worker-{w}"))
+            .spawn(move || worker_loop(cfg, rx, waker, ctl, stats, gauges))?;
+        self.threads.lock().push(handle);
+        Ok(())
     }
 
     /// Address the server listens on.
@@ -128,50 +172,139 @@ impl NioServer {
         Arc::clone(&self.gauges)
     }
 
-    /// Signal all threads to stop and join them.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
+    fn wake_workers(&self) {
+        for link in self.links.lock().iter() {
+            link.waker.wake();
+        }
+    }
+
+    fn stop_and_join(&self) {
+        self.ctl.stop.store(true, Ordering::SeqCst);
+        self.wake_workers();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
+        }
+    }
+
+    /// Signal all threads to stop and join them. Open connections are cut.
+    pub fn shutdown(self) {
+        self.stop_and_join();
+    }
+
+    /// Graceful drain: stop accepting (the port is released, so new
+    /// connections are refused), close idle connections immediately, finish
+    /// flushing in-flight responses, and cut whatever is still unflushed at
+    /// the deadline. Returns drained vs aborted connection counts.
+    pub fn shutdown_graceful(self, deadline: Duration) -> DrainReport {
+        *self.ctl.drain_deadline.lock() = Some(Instant::now() + deadline);
+        self.ctl.draining.store(true, Ordering::SeqCst);
+        self.wake_workers();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+        DrainReport {
+            drained: self.ctl.drained.load(Ordering::SeqCst),
+            aborted: self.ctl.aborted.load(Ordering::SeqCst),
         }
     }
 }
 
 impl Drop for NioServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
+}
+
+impl faults::FaultTarget for NioServer {
+    fn stall_accepts(&self, on: bool) {
+        self.ctl.accepts_stalled.store(on, Ordering::SeqCst);
+    }
+
+    fn crash_worker(&self) -> bool {
+        if self.stats.alive_workers.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        self.ctl.crash_tokens.fetch_add(1, Ordering::SeqCst);
+        self.wake_workers();
+        true
+    }
+
+    fn restart_worker(&self) -> bool {
+        self.spawn_worker().is_ok()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.config.workers
+    }
+}
+
+/// Take one pending crash token, if any.
+fn take_crash_token(ctl: &NioCtl) -> bool {
+    ctl.crash_tokens
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 /// The single acceptor thread: accept and distribute, nothing else — the
 /// reason connection-establishment time stays flat in figure 4.
 fn acceptor_loop(
+    cfg: NioConfig,
     listener: TcpListener,
-    senders: Vec<(crossbeam::channel::Sender<TcpStream>, Arc<Waker>)>,
-    stop: Arc<AtomicBool>,
+    links: Arc<Mutex<Vec<WorkerLink>>>,
+    ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
 ) {
     let mut next = 0usize;
-    while !stop.load(Ordering::Relaxed) {
+    while !ctl.stop.load(Ordering::Relaxed) && !ctl.draining.load(Ordering::Relaxed) {
+        // Server-stall fault window: the accept path freezes; SYNs queue in
+        // the kernel backlog exactly as during a GC pause.
+        if ctl.accepts_stalled.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
+                let shed = cfg
+                    .shed_watermark
+                    .is_some_and(|w| gauges.get(GaugeKind::OpenConns) >= w);
+                if shed {
+                    // Admission control: abortive close so the client
+                    // observes the refusal immediately.
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    let _ = set_linger_zero(&stream);
+                    continue;
+                }
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_nonblocking(true);
-                // Round-robin across workers; a closed channel means the
-                // worker died with the server.
-                let (tx, waker) = &senders[next % senders.len()];
-                // Accepted but not yet adopted by a worker: backlog residence.
+                // Round-robin across workers. A closed channel means that
+                // worker crashed: drop the dead link and re-route to the
+                // survivors instead of taking the whole accept path down.
                 gauges.add(GaugeKind::AcceptBacklog, 1);
-                if tx.send(stream).is_err() {
-                    return;
+                let mut stream = Some(stream);
+                loop {
+                    let mut guard = links.lock();
+                    if guard.is_empty() {
+                        // No workers left at all; the connection is lost.
+                        gauges.sub(GaugeKind::AcceptBacklog, 1);
+                        break;
+                    }
+                    let idx = next % guard.len();
+                    match guard[idx].tx.send(stream.take().expect("stream consumed")) {
+                        Ok(()) => {
+                            guard[idx].waker.wake();
+                            next += 1;
+                            break;
+                        }
+                        Err(e) => {
+                            stream = Some(e.0);
+                            guard.remove(idx);
+                        }
+                    }
                 }
-                waker.wake();
-                next += 1;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -179,6 +312,8 @@ fn acceptor_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
+    // The listener drops here: during a drain, new connection attempts are
+    // refused by the kernel from this point on.
 }
 
 /// Per-connection worker-side state.
@@ -204,6 +339,11 @@ impl Conn {
             Interest::READABLE
         }
     }
+
+    /// Nothing owed and nothing half-received: safe to drain-close cleanly.
+    fn drain_idle(&self) -> bool {
+        !self.wants_write() && self.parser.buffered() == 0
+    }
 }
 
 /// Token 0 is reserved for the waker; connections start at 1.
@@ -213,10 +353,11 @@ fn worker_loop(
     cfg: NioConfig,
     rx: crossbeam::channel::Receiver<TcpStream>,
     waker: Arc<Waker>,
-    stop: Arc<AtomicBool>,
+    ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
 ) {
+    stats.alive_workers.fetch_add(1, Ordering::SeqCst);
     let mut selector: Box<dyn Selector> = match cfg.selector {
         SelectorKind::Epoll => Box::new(reactor::EpollSelector::new().expect("epoll")),
         SelectorKind::Poll => Box::new(reactor::PollSelector::new()),
@@ -232,7 +373,19 @@ fn worker_loop(
     let mut date_refresh = std::time::Instant::now();
     let mut last_ready = 0usize;
 
-    while !stop.load(Ordering::Relaxed) {
+    while !ctl.stop.load(Ordering::Relaxed) {
+        if take_crash_token(&ctl) {
+            // Crash: this worker dies now. Its connections are dropped on
+            // the floor (streams close on drop); only the gauge bookkeeping
+            // is repaired so the survivors' view stays consistent.
+            stats.worker_crashes.fetch_add(1, Ordering::SeqCst);
+            let n = conns.len() as u64;
+            gauges.sub(GaugeKind::OpenConns, n);
+            gauges.sub(GaugeKind::RegisteredConns, n);
+            gauges.sub(GaugeKind::ReadySetSize, last_ready as u64);
+            stats.alive_workers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
         // Adopt freshly accepted connections.
         while let Ok(stream) = rx.try_recv() {
             gauges.sub(GaugeKind::AcceptBacklog, 1);
@@ -272,8 +425,9 @@ fn worker_loop(
         gauges.add(GaugeKind::ReadySetSize, ready as u64);
         gauges.sub(GaugeKind::ReadySetSize, last_ready as u64);
         last_ready = ready;
-        let drained: Vec<Event> = std::mem::take(&mut events);
-        for ev in drained {
+        let draining = ctl.draining.load(Ordering::Relaxed);
+        let drained_evs: Vec<Event> = std::mem::take(&mut events);
+        for ev in drained_evs {
             if ev.token == WAKER_TOKEN {
                 waker.drain();
                 continue;
@@ -293,6 +447,13 @@ fn worker_loop(
                 dead = true;
             }
             if dead {
+                if draining {
+                    if conn.wants_write() {
+                        ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        ctl.drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
                 let fd = conn.stream.as_raw_fd();
                 let _ = selector.deregister(fd);
                 conns.remove(&token);
@@ -303,7 +464,37 @@ fn worker_loop(
                 let _ = selector.reregister(fd, Token(token), conn.interest());
             }
         }
+
+        if draining {
+            // Drain sweep: idle connections close now; in-flight ones keep
+            // flushing until done or until the deadline cuts them.
+            let deadline_hit = ctl
+                .drain_deadline
+                .lock()
+                .is_some_and(|d| Instant::now() >= d);
+            let ids: Vec<usize> = conns.keys().copied().collect();
+            for token in ids {
+                let conn = &conns[&token];
+                let idle = conn.drain_idle();
+                if !(idle || deadline_hit) {
+                    continue;
+                }
+                if conn.wants_write() {
+                    ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    ctl.drained.fetch_add(1, Ordering::SeqCst);
+                }
+                let conn = conns.remove(&token).expect("listed above");
+                let _ = selector.deregister(conn.stream.as_raw_fd());
+                gauges.sub(GaugeKind::OpenConns, 1);
+                gauges.sub(GaugeKind::RegisteredConns, 1);
+            }
+            if conns.is_empty() {
+                break;
+            }
+        }
     }
+    stats.alive_workers.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Drain the socket and serve every complete request. Returns true when the
@@ -433,10 +624,50 @@ fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
     false
 }
 
+/// SO_LINGER(0): make `close()` send RST instead of FIN, so a shed client
+/// observes ECONNRESET before any reply — an explicit refusal.
+fn set_linger_zero(stream: &TcpStream) -> io::Result<()> {
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let r = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &linger as *const Linger as *const _,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    if r < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use desim::Rng;
+    use faults::FaultTarget;
     use workload::{FileSet, SurgeConfig};
 
     fn test_content() -> Arc<ContentStore> {
@@ -450,6 +681,16 @@ mod tests {
             &mut rng,
         );
         Arc::new(ContentStore::from_fileset(&fs))
+    }
+
+    fn start(workers: usize, selector: SelectorKind) -> NioServer {
+        NioServer::start(NioConfig {
+            workers,
+            selector,
+            shed_watermark: None,
+            content: test_content(),
+        })
+        .unwrap()
     }
 
     fn get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
@@ -468,6 +709,7 @@ mod tests {
         let server = NioServer::start(NioConfig {
             workers: 1,
             selector: SelectorKind::Epoll,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -480,12 +722,7 @@ mod tests {
 
     #[test]
     fn unknown_path_is_404() {
-        let server = NioServer::start(NioConfig {
-            workers: 1,
-            selector: SelectorKind::Poll,
-            content: test_content(),
-        })
-        .unwrap();
+        let server = start(1, SelectorKind::Poll);
         let (status, body) = get(server.addr(), "/nope");
         assert_eq!(status, 404);
         assert!(body.is_empty());
@@ -498,6 +735,7 @@ mod tests {
         let server = NioServer::start(NioConfig {
             workers: 2,
             selector: SelectorKind::Epoll,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -527,12 +765,7 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400_and_close() {
-        let server = NioServer::start(NioConfig {
-            workers: 1,
-            selector: SelectorKind::Epoll,
-            content: test_content(),
-        })
-        .unwrap();
+        let server = start(1, SelectorKind::Epoll);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
@@ -550,6 +783,7 @@ mod tests {
         let server = NioServer::start(NioConfig {
             workers: 1,
             selector: SelectorKind::Epoll,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -576,6 +810,7 @@ mod tests {
         let server = NioServer::start(NioConfig {
             workers: 1,
             selector: SelectorKind::Epoll,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -601,13 +836,7 @@ mod tests {
     fn many_concurrent_connections_on_one_worker() {
         // The paper's architectural claim in miniature: one worker thread
         // multiplexes many simultaneously connected clients.
-        let content = test_content();
-        let server = NioServer::start(NioConfig {
-            workers: 1,
-            selector: SelectorKind::Epoll,
-            content,
-        })
-        .unwrap();
+        let server = start(1, SelectorKind::Epoll);
         let addr = server.addr();
         let handles: Vec<_> = (0..32)
             .map(|i| {
@@ -632,5 +861,74 @@ mod tests {
         }
         assert_eq!(server.stats().requests.load(Ordering::Relaxed), 32);
         server.shutdown();
+    }
+
+    #[test]
+    fn acceptor_survives_worker_crash_and_restart() {
+        let server = start(2, SelectorKind::Epoll);
+        let up = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_workers.load(Ordering::SeqCst) == 2
+        });
+        assert!(up, "workers never came up");
+        assert!(server.crash_worker());
+        let died = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_workers.load(Ordering::SeqCst) == 1
+        });
+        assert!(died, "no worker consumed the crash token");
+        // The acceptor re-routes around the dead worker's channel: every
+        // request still gets served.
+        for i in 0..8 {
+            let (status, _) = get(server.addr(), &format!("/f/{}", i % 20));
+            assert_eq!(status, 200, "request {i} after crash");
+        }
+        assert!(server.restart_worker());
+        let back = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_workers.load(Ordering::SeqCst) == 2
+        });
+        assert!(back, "restarted worker never came up");
+        let (status, _) = get(server.addr(), "/f/1");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stall_accepts_blocks_then_recovers() {
+        let server = start(1, SelectorKind::Epoll);
+        server.stall_accepts(true);
+        let addr = server.addr();
+        let t = std::thread::spawn(move || get(addr, "/f/0"));
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(!t.is_finished(), "request served during an accept stall");
+        server.stall_accepts(false);
+        let (status, _) = t.join().unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_drain_closes_idle_and_reports() {
+        let server = start(1, SelectorKind::Epoll);
+        // An idle keep-alive connection: one request, then silence.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0);
+        let t0 = Instant::now();
+        let report = server.shutdown_graceful(Duration::from_secs(2));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "idle drain should not wait for the deadline: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(report.drained, 1, "{report:?}");
+        assert_eq!(report.aborted, 0, "{report:?}");
+        // The connection is now closed at our end.
+        let closed = matches!(s.read(&mut tmp), Ok(0) | Err(_));
+        assert!(closed, "drained connection still open");
     }
 }

@@ -66,14 +66,19 @@ pub enum EndReason {
     /// The client gave up waiting; the reply never counted toward the mean
     /// — the censoring behind httpd2's "suspiciously low" Fig 2 curve.
     Timeout,
+    /// The server refused the connection outright (full backlog with
+    /// explicit refusal, load shedding past a watermark, or a drain in
+    /// progress). Distinct from `Reset`: the client never got in.
+    Refused,
 }
 
 impl EndReason {
-    pub const ALL: [EndReason; 4] = [
+    pub const ALL: [EndReason; 5] = [
         EndReason::Done,
         EndReason::Closed,
         EndReason::Reset,
         EndReason::Timeout,
+        EndReason::Refused,
     ];
 
     pub fn label(self) -> &'static str {
@@ -82,6 +87,7 @@ impl EndReason {
             EndReason::Closed => "closed",
             EndReason::Reset => "reset",
             EndReason::Timeout => "timeout",
+            EndReason::Refused => "refused",
         }
     }
 }

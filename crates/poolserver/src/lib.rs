@@ -13,15 +13,25 @@
 //!   is *required* to reclaim threads from thinking clients, and every such
 //!   reclaim surfaces at the client as a connection-reset error
 //!   (figure 3(b)).
+//!
+//! Robustness layer: every accepted connection is tracked in a registry of
+//! cloned handles, so [`PoolServer::shutdown`] can interrupt threads blocked
+//! in reads immediately (idle keep-alive connections used to hold shutdown
+//! hostage for a full read slice), [`PoolServer::shutdown_graceful`] can
+//! drain — finish in-flight responses, close idle connections, report
+//! drained vs aborted — and the [`faults::FaultTarget`] hooks can stall
+//! accepts or crash/restart pool threads under a fault plan.
 
+use faults::DrainReport;
 use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
 use obs::{GaugeKind, LiveGauges};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone)]
@@ -31,6 +41,10 @@ pub struct PoolConfig {
     /// Close connections idle longer than this (None = never — which, as
     /// the paper explains, a threaded server cannot afford under load).
     pub idle_timeout: Option<Duration>,
+    /// Load shedding: refuse new connections (abortive close on accept)
+    /// while at least this many threads are already bound. None = admit
+    /// until the kernel backlog fills.
+    pub shed_watermark: Option<u64>,
     pub content: Arc<ContentStore>,
 }
 
@@ -44,15 +58,92 @@ pub struct PoolStats {
     pub parse_errors: AtomicU64,
     /// Threads currently bound to a connection.
     pub busy_threads: AtomicU64,
+    /// Connections refused by the load-shedding watermark.
+    pub refused: AtomicU64,
+    /// Pool threads currently running (drops when a fault crashes one).
+    pub alive_threads: AtomicU64,
+    /// Fault injections consumed: threads that crashed on request.
+    pub worker_crashes: AtomicU64,
+}
+
+/// Shared mutable control state: shutdown/drain flags, fault hooks, and the
+/// live-connection registry.
+#[derive(Default)]
+struct PoolCtl {
+    stop: AtomicBool,
+    draining: AtomicBool,
+    accepts_stalled: AtomicBool,
+    /// Pending crash requests; a pool thread consuming one exits.
+    crash_tokens: AtomicU64,
+    drained: AtomicU64,
+    aborted: AtomicU64,
+    registry: ConnRegistry,
+}
+
+/// Registry of live connections: a cloned stream handle per connection so
+/// shutdown and drain can interrupt threads blocked on socket I/O.
+#[derive(Default)]
+struct ConnRegistry {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnSlot>>,
+}
+
+struct ConnSlot {
+    stream: TcpStream,
+    /// True while a parsed request's response has not been fully written.
+    in_flight: Arc<AtomicBool>,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: &TcpStream, in_flight: &Arc<AtomicBool>) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Ok(dup) = stream.try_clone() {
+            self.conns.lock().insert(
+                id,
+                ConnSlot {
+                    stream: dup,
+                    in_flight: Arc::clone(in_flight),
+                },
+            );
+        }
+        id
+    }
+
+    fn remove(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.conns.lock().is_empty()
+    }
+
+    /// Shut down connections with no response owed (unblocks their threads).
+    fn shutdown_idle(&self) {
+        for slot in self.conns.lock().values() {
+            if !slot.in_flight.load(Ordering::Relaxed) {
+                let _ = slot.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Shut down every tracked connection, in-flight or not.
+    fn shutdown_all(&self) {
+        for slot in self.conns.lock().values() {
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// Handle to a running pool server; dropping it stops the server.
 pub struct PoolServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    config: PoolConfig,
+    ctl: Arc<PoolCtl>,
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    /// `None` once the port is released (drain refuses new connections).
+    listener: Arc<Mutex<Option<TcpListener>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl PoolServer {
@@ -62,31 +153,33 @@ impl PoolServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(PoolStats::default());
-        let gauges = Arc::new(LiveGauges::new());
-        let accept_mutex = Arc::new(Mutex::new(listener));
-        let mut threads = Vec::new();
-        for i in 0..config.pool_size {
-            let stop_t = Arc::clone(&stop);
-            let stats_t = Arc::clone(&stats);
-            let gauges_t = Arc::clone(&gauges);
-            let mutex_t = Arc::clone(&accept_mutex);
-            let cfg = config.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("pool-{i}"))
-                    .spawn(move || pool_thread(cfg, mutex_t, stop_t, stats_t, gauges_t))
-                    .expect("spawn pool thread"),
-            );
-        }
-        Ok(PoolServer {
+        let server = PoolServer {
             addr,
-            stop,
-            stats,
-            gauges,
-            threads,
-        })
+            config: config.clone(),
+            ctl: Arc::new(PoolCtl::default()),
+            stats: Arc::new(PoolStats::default()),
+            gauges: Arc::new(LiveGauges::new()),
+            listener: Arc::new(Mutex::new(Some(listener))),
+            threads: Mutex::new(Vec::new()),
+        };
+        for _ in 0..config.pool_size {
+            server.spawn_thread()?;
+        }
+        Ok(server)
+    }
+
+    fn spawn_thread(&self) -> io::Result<()> {
+        let i = self.threads.lock().len();
+        let cfg = self.config.clone();
+        let listener = Arc::clone(&self.listener);
+        let ctl = Arc::clone(&self.ctl);
+        let stats = Arc::clone(&self.stats);
+        let gauges = Arc::clone(&self.gauges);
+        let handle = std::thread::Builder::new()
+            .name(format!("pool-{i}"))
+            .spawn(move || pool_thread(cfg, listener, ctl, stats, gauges))?;
+        self.threads.lock().push(handle);
+        Ok(())
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -104,48 +197,141 @@ impl PoolServer {
         Arc::clone(&self.gauges)
     }
 
-    /// Signal all threads to stop and join them.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
+    fn stop_and_join(&self) {
+        self.ctl.stop.store(true, Ordering::SeqCst);
+        *self.listener.lock() = None;
+        // Interrupt threads blocked reading idle keep-alive connections —
+        // without this, shutdown waits out a full read slice per thread.
+        self.ctl.registry.shutdown_all();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in handles {
             let _ = t.join();
+        }
+    }
+
+    /// Signal all threads to stop and join them. Open connections are cut.
+    pub fn shutdown(self) {
+        self.stop_and_join();
+    }
+
+    /// Graceful drain: release the port (new connections are refused by the
+    /// kernel), close idle connections, let in-flight responses finish, and
+    /// cut whatever is still unfinished at the deadline. Returns how many
+    /// connections ended cleanly vs were cut mid-response.
+    pub fn shutdown_graceful(self, deadline: Duration) -> DrainReport {
+        self.ctl.draining.store(true, Ordering::SeqCst);
+        *self.listener.lock() = None;
+        let start = Instant::now();
+        while start.elapsed() < deadline && !self.ctl.registry.is_empty() {
+            // Connections with nothing owed can go now; re-sweeping catches
+            // ones that finished their response since the last pass.
+            self.ctl.registry.shutdown_idle();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.ctl.registry.shutdown_all();
+        self.stop_and_join();
+        DrainReport {
+            drained: self.ctl.drained.load(Ordering::SeqCst),
+            aborted: self.ctl.aborted.load(Ordering::SeqCst),
         }
     }
 }
 
 impl Drop for PoolServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
+}
+
+impl faults::FaultTarget for PoolServer {
+    fn stall_accepts(&self, on: bool) {
+        self.ctl.accepts_stalled.store(on, Ordering::SeqCst);
+    }
+
+    fn crash_worker(&self) -> bool {
+        if self.stats.alive_threads.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        self.ctl.crash_tokens.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    fn restart_worker(&self) -> bool {
+        self.spawn_thread().is_ok()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.config.pool_size
+    }
+}
+
+/// Take one pending crash token, if any.
+fn take_crash_token(ctl: &PoolCtl) -> bool {
+    ctl.crash_tokens
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 /// One pool thread: accept under the mutex, then serve the connection to
 /// completion with blocking I/O (the thread is unavailable throughout).
 fn pool_thread(
     cfg: PoolConfig,
-    listener: Arc<Mutex<TcpListener>>,
-    stop: Arc<AtomicBool>,
+    listener: Arc<Mutex<Option<TcpListener>>>,
+    ctl: Arc<PoolCtl>,
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
 ) {
-    while !stop.load(Ordering::Relaxed) {
+    stats.alive_threads.fetch_add(1, Ordering::SeqCst);
+    loop {
+        if ctl.stop.load(Ordering::Relaxed) || ctl.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        if take_crash_token(&ctl) {
+            stats.worker_crashes.fetch_add(1, Ordering::SeqCst);
+            break;
+        }
+        if ctl.accepts_stalled.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
         // Apache's accept serialisation: one thread in accept at a time.
         let accepted = {
             let guard = listener.lock();
-            guard.accept()
+            match guard.as_ref() {
+                Some(l) => l.accept(),
+                None => break,
+            }
         };
         match accepted {
             Ok((stream, _)) => {
+                let shed = cfg
+                    .shed_watermark
+                    .is_some_and(|w| stats.busy_threads.load(Ordering::Relaxed) >= w);
+                if shed {
+                    // Admission control: an abortive close, so the client
+                    // observes the refusal instead of queueing behind an
+                    // exhausted pool.
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    let _ = set_linger_zero(&stream);
+                    continue;
+                }
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                 stats.busy_threads.fetch_add(1, Ordering::Relaxed);
                 // Thread binding: occupancy and open-conn count move in
                 // lockstep — the architectural coupling the paper measures.
                 gauges.add(GaugeKind::ThreadPoolOccupancy, 1);
                 gauges.add(GaugeKind::OpenConns, 1);
-                serve_connection(&cfg, stream, &stop, &stats);
+                let in_flight = Arc::new(AtomicBool::new(false));
+                let id = ctl.registry.register(&stream, &in_flight);
+                let owed = serve_connection(&cfg, stream, &ctl, &stats, &in_flight);
+                ctl.registry.remove(id);
+                if ctl.draining.load(Ordering::SeqCst) {
+                    if owed {
+                        ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        ctl.drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
                 gauges.sub(GaugeKind::ThreadPoolOccupancy, 1);
                 gauges.sub(GaugeKind::OpenConns, 1);
                 stats.busy_threads.fetch_sub(1, Ordering::Relaxed);
@@ -156,15 +342,19 @@ fn pool_thread(
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
+    stats.alive_threads.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// Serve one connection until it closes, errors, or idles out.
+/// Serve one connection until it closes, errors, or idles out. Returns true
+/// if the connection ended with a response still owed to the client (the
+/// drain accounting's "aborted").
 fn serve_connection(
     cfg: &PoolConfig,
     mut stream: TcpStream,
-    stop: &AtomicBool,
+    ctl: &PoolCtl,
     stats: &PoolStats,
-) {
+    in_flight: &AtomicBool,
+) -> bool {
     let _ = stream.set_nodelay(true);
     // Blocking reads with the idle timeout as the read timeout — exactly the
     // Apache `Timeout` directive's mechanism. Bounded by 1 s slices so the
@@ -177,11 +367,11 @@ fn serve_connection(
     let mut buf = vec![0u8; 64 * 1024];
     let date = httpcore::now_http_date();
     loop {
-        if stop.load(Ordering::Relaxed) {
-            return;
+        if ctl.stop.load(Ordering::Relaxed) {
+            return false;
         }
         match stream.read(&mut buf) {
-            Ok(0) => return, // client closed
+            Ok(0) => return false, // client closed
             Ok(n) => {
                 idle_left = idle;
                 parser.feed(&buf[..n]);
@@ -189,11 +379,14 @@ fn serve_connection(
                     match parser.parse() {
                         ParseOutcome::Complete(req) => {
                             let keep = req.keep_alive();
-                            if !respond(cfg, &mut stream, stats, &req, &date) {
-                                return; // write error: peer gone
+                            in_flight.store(true, Ordering::SeqCst);
+                            let sent = respond(cfg, &mut stream, stats, &req, &date);
+                            in_flight.store(false, Ordering::SeqCst);
+                            if !sent {
+                                return true; // write failed: response lost
                             }
                             if !keep {
-                                return;
+                                return false;
                             }
                         }
                         ParseOutcome::Incomplete => break,
@@ -209,9 +402,15 @@ fn serve_connection(
                                 &date,
                             );
                             let _ = stream.write_all(&out);
-                            return;
+                            return false;
                         }
                     }
+                }
+                // Draining and every received request answered: close now
+                // rather than wait for more requests that will never be
+                // admitted.
+                if ctl.draining.load(Ordering::SeqCst) {
+                    return false;
                 }
             }
             Err(e)
@@ -226,11 +425,11 @@ fn serve_connection(
                     // paper's Apache does.
                     stats.idle_closes.fetch_add(1, Ordering::Relaxed);
                     let _ = set_linger_zero(&stream);
-                    return;
+                    return false;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
+            Err(_) => return false,
         }
     }
 }
@@ -341,6 +540,7 @@ fn set_linger_zero(stream: &TcpStream) -> io::Result<()> {
 mod tests {
     use super::*;
     use desim::Rng;
+    use faults::FaultTarget;
     use workload::{FileSet, SurgeConfig};
 
     fn test_content() -> Arc<ContentStore> {
@@ -361,6 +561,7 @@ mod tests {
         let server = PoolServer::start(PoolConfig {
             pool_size: pool,
             idle_timeout: idle,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -524,6 +725,111 @@ mod tests {
         s.read_to_end(&mut buf).unwrap();
         let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
         assert_eq!(head.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_with_idle_keepalive_conns() {
+        // An idle keep-alive connection keeps a thread blocked in read;
+        // shutdown must interrupt it via the registry instead of waiting
+        // out the read slice.
+        let (server, _) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0);
+        let t0 = Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "shutdown took {:?} with an idle keep-alive connection",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn shed_watermark_refuses_excess_connections() {
+        let content = test_content();
+        let server = PoolServer::start(PoolConfig {
+            pool_size: 4,
+            idle_timeout: None,
+            shed_watermark: Some(1),
+            content,
+        })
+        .unwrap();
+        let addr = server.addr();
+        // Bind the single admitted slot.
+        let mut held = TcpStream::connect(addr).unwrap();
+        held.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(held, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let _ = held.read(&mut tmp).unwrap();
+        // Subsequent connections are shed: reset before any reply.
+        let mut refused_seen = false;
+        for _ in 0..10 {
+            let mut s = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    refused_seen = true;
+                    break;
+                }
+            };
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let _ = write!(s, "GET /f/1 HTTP/1.1\r\nHost: t\r\n\r\n");
+            match s.read(&mut tmp) {
+                Ok(0) | Err(_) => {
+                    refused_seen = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        assert!(refused_seen, "watermark never shed a connection");
+        assert!(server.stats().refused.load(Ordering::Relaxed) >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn crash_and_restart_worker() {
+        let (server, _) = start(2, None);
+        let up = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_threads.load(Ordering::SeqCst) == 2
+        });
+        assert!(up, "pool threads never came up");
+        assert!(server.crash_worker());
+        let died = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_threads.load(Ordering::SeqCst) == 1
+        });
+        assert!(died, "no thread consumed the crash token");
+        assert_eq!(server.stats().worker_crashes.load(Ordering::SeqCst), 1);
+        assert!(server.restart_worker());
+        let back = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            server.stats().alive_threads.load(Ordering::SeqCst) == 2
+        });
+        assert!(back, "restarted thread never came up");
+        // The restarted thread serves requests.
+        let (status, _) = get(server.addr(), "/f/0");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stall_accepts_blocks_then_recovers() {
+        let (server, _) = start(2, None);
+        server.stall_accepts(true);
+        let addr = server.addr();
+        let t = std::thread::spawn(move || get(addr, "/f/0"));
+        std::thread::sleep(Duration::from_millis(300));
+        // The connect sits in the kernel backlog, unserved.
+        assert!(!t.is_finished(), "request served during an accept stall");
+        server.stall_accepts(false);
+        let (status, _) = t.join().unwrap();
+        assert_eq!(status, 200);
         server.shutdown();
     }
 }

@@ -3,6 +3,7 @@
 
 use clientsim::ClientConfig;
 use desim::SimDuration;
+use faults::{AdmissionControl, FaultPlan};
 use hostsim::CpuCosts;
 use netsim::LinkConfig;
 use workload::SurgeConfig;
@@ -123,6 +124,19 @@ pub struct TestbedConfig {
     /// `None` (the default) records nothing and costs one branch per hook,
     /// like `trace_capacity: 0` — measurement runs stay unperturbed.
     pub obs: Option<obs::ObsConfig>,
+    /// Deterministic fault schedule replayed in virtual time — the general
+    /// successor of `link_outages` covering degradation, jitter, worker
+    /// crashes, stalls and slow-loris clients. `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Server-side overload control (explicit refusal, load shedding).
+    /// Defaults to fully off: the paper's servers drop SYNs silently.
+    pub admission: AdmissionControl,
+    /// Begin a graceful drain at this instant: stop accepting, finish
+    /// in-flight work, report drained vs. aborted at the deadline.
+    pub drain_at: Option<SimDuration>,
+    /// How long the drain may take before remaining in-flight connections
+    /// are aborted.
+    pub drain_deadline: SimDuration,
 }
 
 impl TestbedConfig {
@@ -159,6 +173,10 @@ impl TestbedConfig {
             trace_capacity: 0,
             jvm_thread_limit: Some(1000),
             obs: None,
+            fault_plan: None,
+            admission: AdmissionControl::default(),
+            drain_at: None,
+            drain_deadline: SimDuration::from_secs(5),
         }
     }
 
@@ -180,6 +198,18 @@ impl TestbedConfig {
         for &(li, _, _) in &self.link_outages {
             if li >= self.links.len() {
                 return Err(format!("outage references link {li} of {}", self.links.len()));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.links.len())
+                .map_err(|e| format!("fault plan '{}': {e}", plan.name))?;
+        }
+        if let Some(at) = self.drain_at {
+            if at >= self.duration {
+                return Err(format!(
+                    "drain_at {at} is not before the run horizon {}",
+                    self.duration
+                ));
             }
         }
         if let Some(limit) = self.jvm_thread_limit {
@@ -241,6 +271,30 @@ mod tests {
             TestbedConfig::paper_default(ServerArch::EventDriven { workers: 1 }, 1, link);
         cfg2.link_outages = vec![(5, SimDuration::ZERO, SimDuration::from_secs(1))];
         assert!(cfg2.validate().is_err());
+    }
+
+    #[test]
+    fn validate_checks_fault_plan_and_drain() {
+        let link = LinkConfig::from_mbit(1000.0, SimDuration::from_micros(100));
+        let mut cfg =
+            TestbedConfig::paper_default(ServerArch::EventDriven { workers: 1 }, 1, link);
+        cfg.fault_plan = FaultPlan::named("outage");
+        assert!(cfg.validate().is_ok());
+        // A plan targeting a missing link is rejected.
+        cfg.fault_plan = Some(FaultPlan::new(
+            "bad",
+            vec![faults::FaultEvent {
+                start_ns: 0,
+                duration_ns: 1_000_000_000,
+                kind: faults::FaultKind::LinkOutage { link: 7 },
+            }],
+        ));
+        assert!(cfg.validate().is_err());
+        cfg.fault_plan = None;
+        cfg.drain_at = Some(cfg.duration);
+        assert!(cfg.validate().is_err());
+        cfg.drain_at = Some(cfg.duration - SimDuration::from_secs(5));
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

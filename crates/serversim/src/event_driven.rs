@@ -17,6 +17,8 @@ pub enum AcceptOutcome {
     Accept,
     /// Listen queue overflow (requires pathological accept starvation).
     Dropped,
+    /// The server is draining: new connections are refused explicitly.
+    Refused,
 }
 
 /// Selector/acceptor state of the event-driven server.
@@ -32,6 +34,11 @@ pub struct EventServer {
     /// this can be thousands with one worker thread).
     pub peak_registered: usize,
     pub syns_dropped: u64,
+    /// SYNs refused explicitly while draining (reporting).
+    pub syns_refused: u64,
+    /// Graceful drain in progress: refuse new work, let registered
+    /// connections finish.
+    draining: bool,
 }
 
 impl EventServer {
@@ -44,7 +51,20 @@ impl EventServer {
             registered: HashSet::new(),
             peak_registered: 0,
             syns_dropped: 0,
+            syns_refused: 0,
+            draining: false,
         }
+    }
+
+    /// Begin a graceful drain: every subsequent SYN is refused; already
+    /// registered connections keep being served.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Drain in progress?
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     pub fn workers(&self) -> usize {
@@ -64,7 +84,10 @@ impl EventServer {
 
     /// A SYN arrived.
     pub fn on_syn(&mut self) -> AcceptOutcome {
-        if self.pending_accepts < self.backlog_cap {
+        if self.draining {
+            self.syns_refused += 1;
+            AcceptOutcome::Refused
+        } else if self.pending_accepts < self.backlog_cap {
             self.pending_accepts += 1;
             AcceptOutcome::Accept
         } else {
@@ -121,6 +144,20 @@ mod tests {
         // Draining an accept frees a slot.
         s.on_accepted(ConnId(1));
         assert_eq!(s.on_syn(), AcceptOutcome::Accept);
+    }
+
+    #[test]
+    fn drain_refuses_new_but_keeps_registered() {
+        let mut s = EventServer::new(1, 10);
+        s.on_syn();
+        s.on_accepted(ConnId(1));
+        s.begin_drain();
+        assert!(s.is_draining());
+        assert_eq!(s.on_syn(), AcceptOutcome::Refused);
+        assert_eq!(s.syns_refused, 1);
+        // The registered connection is untouched until it closes itself.
+        assert_eq!(s.registered_count(), 1);
+        assert!(s.deregister(ConnId(1)));
     }
 
     #[test]

@@ -62,6 +62,16 @@ pub enum Ev {
     LinkDown(usize),
     /// Failure injection: link `i` restores.
     LinkUp(usize),
+    /// Fault plan: event `i` of the plan takes effect.
+    FaultBegin(usize),
+    /// Fault plan: event `i` of the plan clears.
+    FaultEnd(usize),
+    /// An explicit refusal (RST to a connecting client) reached the client.
+    RefusedAtClient(ConnId),
+    /// Graceful drain begins: stop accepting, finish in-flight work.
+    DrainStart,
+    /// Drain deadline: whatever is still in flight is aborted and counted.
+    DrainDeadline,
     /// Warm-up ended; begin recording histograms/counters.
     MeasureStart,
     /// Periodic observability gauge sample (only scheduled when the run has
@@ -173,6 +183,22 @@ pub struct Testbed {
     pub trace: Trace,
     /// Typed observability capture (disabled unless `cfg.obs` is set).
     pub obs: Obs,
+    /// Accept path frozen by a server-stall fault window.
+    accepts_stalled: bool,
+    /// Slow-loris fault: clients with id below this trickle request bytes.
+    loris_clients: u32,
+    /// Graceful drain in progress.
+    draining: bool,
+    /// Connections that closed cleanly (client FIN) since the drain began.
+    drain_drained: u64,
+    /// Connections aborted (client gave up, or cut at the deadline).
+    drain_aborted: u64,
+    /// Filled at the drain deadline; `None` until then (or when no drain
+    /// was scheduled).
+    pub drain_report: Option<faults::DrainReport>,
+    /// SYNs answered with an explicit refusal (drain, shedding, full
+    /// backlog under `refuse_on_full`).
+    pub syns_refused: u64,
 }
 
 impl Testbed {
@@ -274,6 +300,13 @@ impl Testbed {
                 Trace::disabled()
             },
             obs,
+            accepts_stalled: false,
+            loris_clients: 0,
+            draining: false,
+            drain_drained: 0,
+            drain_aborted: 0,
+            drain_report: None,
+            syns_refused: 0,
         }
     }
 
@@ -366,6 +399,31 @@ impl Testbed {
         for (token, finish, _service) in started {
             ctx.schedule_at(finish, Ev::CpuDone(token));
         }
+    }
+
+    /// Answer a connecting SYN with an explicit refusal: the kernel pays a
+    /// reject's worth of CPU, and an RST travels back to the client.
+    fn refuse_syn(&mut self, ctx: &mut Ctx<'_, Ev>, conn: ConnId) {
+        self.syns_refused += 1;
+        let service = self.cfg.costs.reject_service(self.cfg.num_cpus);
+        self.submit_cpu(ctx, self.kernel_lane, service, Job::Reject);
+        let lat = self.latency(self.conns[&conn].link);
+        ctx.schedule_in(lat, Ev::RefusedAtClient(conn));
+    }
+
+    /// Load-shedding check: is the admission watermark crossed right now?
+    /// Pressure is the same quantity the gauge sampler reports — pool
+    /// occupancy plus backlog for the threaded server, CPU run-queue depth
+    /// for the event-driven ones.
+    fn shed_watermark_hit(&self) -> bool {
+        let Some(w) = self.cfg.admission.shed_watermark else {
+            return false;
+        };
+        let pressure = match &self.server {
+            ServerModel::Threaded(t) => (t.threads_in_use() + t.backlog_len()) as u64,
+            ServerModel::Event(_) | ServerModel::Staged(_) => self.cpu.queued_total() as u64,
+        };
+        pressure >= w
     }
 
     /// Open a new connection for `cid` and fire its SYN.
@@ -546,6 +604,16 @@ impl Testbed {
         let Some(rec) = self.conns.get_mut(&conn) else {
             return;
         };
+        // Drain accounting: established connections that end during the
+        // drain window count toward the report — cleanly (FIN) as drained,
+        // given-up (client timeout) as aborted.
+        if self.draining && self.drain_report.is_none() && rec.net.is_established() {
+            match kind {
+                CloseKind::ClientFin => self.drain_drained += 1,
+                CloseKind::ClientAbort => self.drain_aborted += 1,
+                _ => {}
+            }
+        }
         // Requests still open on this connection end censored: abort means
         // the client's socket timeout fired, a clean FIN means the session
         // moved on.
@@ -624,7 +692,14 @@ impl Testbed {
                     }
                 }
                 let link = self.conns[&conn].link;
-                let lat = self.latency(link);
+                let mut lat = self.latency(link);
+                // Slow-loris window: afflicted clients trickle their request
+                // bytes, so the burst takes seconds to fully arrive. The
+                // stagger is a pure function of the client id — determinism
+                // is preserved.
+                if self.loris_clients > 0 && cid.0 < self.loris_clients {
+                    lat += SimDuration::from_millis(2_000 + (cid.0 as u64 % 7) * 250);
+                }
                 ctx.schedule_in(lat, Ev::RequestsAtServer(conn, files));
             }
             ClientAction::Think(d) => {
@@ -747,7 +822,23 @@ impl Model for Testbed {
                     self.stale_events += 1;
                     return;
                 }
+                // Server-stall fault window: the accept path is frozen, so
+                // the SYN goes unanswered exactly like a silent drop and
+                // the client's retransmit timer fires.
+                if self.accepts_stalled {
+                    let retry = self.clients[self.conns[&conn].client.0 as usize].syn_retry();
+                    ctx.schedule_in(retry, Ev::SynRetry(conn));
+                    return;
+                }
+                // Overload control: refuse explicitly while draining or
+                // when the load-shedding watermark is crossed, before any
+                // accept state is reserved.
+                if self.draining || self.shed_watermark_hit() {
+                    self.refuse_syn(ctx, conn);
+                    return;
+                }
                 let cpus = self.cfg.num_cpus;
+                let refuse_on_full = self.cfg.admission.refuse_on_full;
                 match &mut self.server {
                     ServerModel::Threaded(t) => match t.on_syn(conn) {
                         SynOutcome::AcceptNow => {
@@ -760,6 +851,7 @@ impl Model for Testbed {
                             self.submit_cpu(ctx, self.pool_lane, service, Job::Accept(conn));
                         }
                         SynOutcome::Queued => { /* waits for a free thread */ }
+                        SynOutcome::Dropped if refuse_on_full => self.refuse_syn(ctx, conn),
                         SynOutcome::Dropped => {
                             let service = self.cfg.costs.reject_service(cpus);
                             self.submit_cpu(ctx, self.kernel_lane, service, Job::Reject);
@@ -768,12 +860,14 @@ impl Model for Testbed {
                                 .syn_retry();
                             ctx.schedule_in(retry, Ev::SynRetry(conn));
                         }
+                        SynOutcome::Refused => self.refuse_syn(ctx, conn),
                     },
                     ServerModel::Event(e) | ServerModel::Staged(e) => match e.on_syn() {
                         AcceptOutcome::Accept => {
                             let service = self.cfg.costs.event_accept_service(cpus);
                             self.submit_cpu(ctx, self.acceptor_lane, service, Job::Accept(conn));
                         }
+                        AcceptOutcome::Dropped if refuse_on_full => self.refuse_syn(ctx, conn),
                         AcceptOutcome::Dropped => {
                             let service = self.cfg.costs.reject_service(cpus);
                             self.submit_cpu(ctx, self.kernel_lane, service, Job::Reject);
@@ -782,6 +876,7 @@ impl Model for Testbed {
                                 .syn_retry();
                             ctx.schedule_in(retry, Ev::SynRetry(conn));
                         }
+                        AcceptOutcome::Refused => self.refuse_syn(ctx, conn),
                     },
                 }
             }
@@ -1228,6 +1323,258 @@ impl Model for Testbed {
                 self.resched_link(ctx, li);
             }
 
+            Ev::FaultBegin(i) => {
+                let ev = self
+                    .cfg
+                    .fault_plan
+                    .as_ref()
+                    .expect("fault event without a plan")
+                    .events[i];
+                if self.trace.wants(TraceLevel::Info) {
+                    self.trace.emit(
+                        ctx.now(),
+                        TraceLevel::Info,
+                        format!("fault begins: {}", ev.kind.label()),
+                    );
+                }
+                match ev.kind {
+                    faults::FaultKind::LinkOutage { link } => {
+                        self.links[link].set_capacity(ctx.now(), 1e-3);
+                        self.resched_link(ctx, link);
+                    }
+                    faults::FaultKind::LinkDegrade {
+                        link,
+                        capacity_factor,
+                    } => {
+                        let base = self.cfg.links[link].capacity_bps;
+                        self.links[link].set_capacity(ctx.now(), base * capacity_factor);
+                        self.resched_link(ctx, link);
+                    }
+                    faults::FaultKind::LatencyJitter { link, added_ns } => {
+                        let base = self.cfg.links[link].latency;
+                        self.links[link]
+                            .set_latency(base + SimDuration::from_nanos(added_ns));
+                    }
+                    faults::FaultKind::WorkerCrash { fraction, .. } => {
+                        // Crashed threads are modeled as lane capacity lost
+                        // for the window: dead slots cannot pick up work,
+                        // but they consume no processor time. At least one
+                        // slot always survives — a fully dead server is the
+                        // `ServerStall` plan's job. Jobs already running on
+                        // a crashed slot finish (the model is
+                        // non-preemptive); the cap bites on the next pickup.
+                        let (lane, n) = match self.cfg.server {
+                            ServerArch::Threaded { pool } => (self.pool_lane, pool),
+                            ServerArch::EventDriven { workers } => (self.worker_lane, workers),
+                            ServerArch::Staged { parse_threads, .. } => {
+                                (self.stage_parse_lane, parse_threads)
+                            }
+                        };
+                        let count =
+                            ((n as f64 * fraction).round() as usize).clamp(1, n);
+                        self.cpu.set_lane_cap(lane, (n - count).max(1));
+                    }
+                    faults::FaultKind::ServerStall => {
+                        self.accepts_stalled = true;
+                        // Every processor is pinned for the window: nothing
+                        // in flight makes progress either.
+                        let dur = SimDuration::from_nanos(ev.duration_ns);
+                        for _ in 0..self.cfg.num_cpus {
+                            self.submit_cpu(ctx, self.kernel_lane, dur, Job::Stall);
+                        }
+                    }
+                    faults::FaultKind::SlowLoris { clients } => {
+                        self.loris_clients = clients.min(self.cfg.num_clients as usize) as u32;
+                    }
+                }
+            }
+
+            Ev::FaultEnd(i) => {
+                let ev = self
+                    .cfg
+                    .fault_plan
+                    .as_ref()
+                    .expect("fault event without a plan")
+                    .events[i];
+                if self.trace.wants(TraceLevel::Info) {
+                    self.trace.emit(
+                        ctx.now(),
+                        TraceLevel::Info,
+                        format!("fault clears: {}", ev.kind.label()),
+                    );
+                }
+                match ev.kind {
+                    faults::FaultKind::LinkOutage { link }
+                    | faults::FaultKind::LinkDegrade { link, .. } => {
+                        let restored = self.cfg.links[link].capacity_bps;
+                        self.links[link].set_capacity(ctx.now(), restored);
+                        self.resched_link(ctx, link);
+                    }
+                    faults::FaultKind::LatencyJitter { link, .. } => {
+                        let base = self.cfg.links[link].latency;
+                        self.links[link].set_latency(base);
+                    }
+                    faults::FaultKind::ServerStall => {
+                        self.accepts_stalled = false;
+                    }
+                    faults::FaultKind::SlowLoris { .. } => {
+                        self.loris_clients = 0;
+                    }
+                    // Restart brings the crashed slots back; without it the
+                    // reduced lane cap holds to the horizon.
+                    faults::FaultKind::WorkerCrash { restart, .. } => {
+                        if restart {
+                            let (lane, n) = match self.cfg.server {
+                                ServerArch::Threaded { pool } => (self.pool_lane, pool),
+                                ServerArch::EventDriven { workers } => {
+                                    (self.worker_lane, workers)
+                                }
+                                ServerArch::Staged { parse_threads, .. } => {
+                                    (self.stage_parse_lane, parse_threads)
+                                }
+                            };
+                            self.cpu.set_lane_cap(lane, n);
+                            // Freed capacity can start queued work right now.
+                            let started = self.cpu.kick(ctx.now());
+                            for (token, finish, _service) in started {
+                                ctx.schedule_at(finish, Ev::CpuDone(token));
+                            }
+                        }
+                    }
+                }
+            }
+
+            Ev::RefusedAtClient(conn) => {
+                let Some(rec) = self.conns.get(&conn) else {
+                    self.stale_events += 1;
+                    return;
+                };
+                let cid = rec.client;
+                if self.rt[cid.0 as usize].conn != Some(conn)
+                    || !matches!(rec.net.state, netsim::ConnState::Connecting)
+                {
+                    self.stale_events += 1;
+                    return;
+                }
+                let opened_ns = rec.net.opened_at.as_nanos();
+                self.conns
+                    .get_mut(&conn)
+                    .unwrap()
+                    .net
+                    .close(ctx.now(), CloseKind::ServerRefused);
+                self.disarm_client_timeout(ctx, cid);
+                self.rt[cid.0 as usize].conn = None;
+                // The refused attempt shows up in the capture as a one-stage
+                // request: the whole life of the attempt was connect-wait.
+                if self.obs.on() {
+                    let start_ns = self.clients[cid.0 as usize]
+                        .connecting_since()
+                        .map(|t| t.as_nanos())
+                        .unwrap_or(opened_ns);
+                    self.obs
+                        .requests
+                        .begin(conn.0, start_ns, Stage::ConnectWait);
+                    self.obs.requests.finish_next(
+                        conn.0,
+                        ctx.now().as_nanos(),
+                        EndReason::Refused,
+                    );
+                }
+                let action = {
+                    let client = &mut self.clients[cid.0 as usize];
+                    client.on_refused(ctx.now(), &self.files, &mut self.metrics)
+                };
+                self.maybe_gc(conn);
+                self.run_client_action(ctx, cid, action);
+            }
+
+            Ev::DrainStart => {
+                self.draining = true;
+                match &mut self.server {
+                    ServerModel::Threaded(t) => t.begin_drain(),
+                    ServerModel::Event(e) | ServerModel::Staged(e) => e.begin_drain(),
+                }
+                if self.trace.wants(TraceLevel::Info) {
+                    self.trace
+                        .emit(ctx.now(), TraceLevel::Info, "drain begins".to_string());
+                }
+            }
+
+            Ev::DrainDeadline => {
+                // Whatever survived to the deadline is settled now: idle
+                // established connections drained cleanly, in-flight ones
+                // are cut (the client sees a reset), connecting ones are
+                // refused.
+                let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+                for conn in ids {
+                    let Some(rec) = self.conns.get(&conn) else {
+                        continue;
+                    };
+                    let current = self.rt[rec.client.0 as usize].conn == Some(conn);
+                    match rec.net.state {
+                        netsim::ConnState::Connecting if current => {
+                            self.refuse_syn(ctx, conn);
+                        }
+                        netsim::ConnState::Established => {
+                            let in_flight = rec.pending_jobs > 0
+                                || !rec.pipeline.is_empty()
+                                || rec.active_flow.is_some()
+                                || !rec.req_queue.is_empty()
+                                || rec.cpu_busy;
+                            let link = rec.link;
+                            if in_flight {
+                                self.drain_aborted += 1;
+                                if self.obs.on() {
+                                    self.obs.requests.finish_all(
+                                        conn.0,
+                                        ctx.now().as_nanos(),
+                                        EndReason::Reset,
+                                    );
+                                }
+                                let rec = self.conns.get_mut(&conn).unwrap();
+                                rec.net.close(ctx.now(), CloseKind::ServerIdleTimeout);
+                                rec.req_queue.clear();
+                                rec.pipeline.clear();
+                                if let Some(evh) = rec.idle_ev.take() {
+                                    ctx.cancel(evh);
+                                }
+                                if let Some(fid) = rec.active_flow.take() {
+                                    self.links[link].cancel_flow(ctx.now(), fid);
+                                    self.flows.remove(&fid);
+                                    self.resched_link(ctx, link);
+                                }
+                                self.free_thread(ctx, conn);
+                                if let ServerModel::Event(e) | ServerModel::Staged(e) =
+                                    &mut self.server
+                                {
+                                    e.deregister(conn);
+                                }
+                                let lat = self.latency(link);
+                                ctx.schedule_in(lat, Ev::ResetAtClient(conn));
+                            } else {
+                                self.drain_drained += 1;
+                                let rec = self.conns.get_mut(&conn).unwrap();
+                                rec.net.close(ctx.now(), CloseKind::ServerIdleTimeout);
+                                if let Some(evh) = rec.idle_ev.take() {
+                                    ctx.cancel(evh);
+                                }
+                                self.free_thread(ctx, conn);
+                                if let ServerModel::Event(e) | ServerModel::Staged(e) =
+                                    &mut self.server
+                                {
+                                    e.deregister(conn);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                self.drain_report = Some(faults::DrainReport {
+                    drained: self.drain_drained,
+                    aborted: self.drain_aborted,
+                });
+            }
+
             Ev::MeasureStart => {
                 self.metrics.set_measure_from(ctx.now());
             }
@@ -1292,6 +1639,13 @@ pub fn run(cfg: TestbedConfig) -> Testbed {
             _ => false,
         };
     let outages = cfg.link_outages.clone();
+    let fault_events: Vec<faults::FaultEvent> = cfg
+        .fault_plan
+        .as_ref()
+        .map(|p| p.events.clone())
+        .unwrap_or_default();
+    let drain_at = cfg.drain_at;
+    let drain_deadline = cfg.drain_deadline;
     let testbed = Testbed::new(cfg);
     let obs_tick = testbed
         .obs
@@ -1309,6 +1663,14 @@ pub fn run(cfg: TestbedConfig) -> Testbed {
     for &(li, start, dur) in &outages {
         engine.schedule_at(SimTime::ZERO + start, Ev::LinkDown(li));
         engine.schedule_at(SimTime::ZERO + start + dur, Ev::LinkUp(li));
+    }
+    for (i, e) in fault_events.iter().enumerate() {
+        engine.schedule_at(SimTime::from_nanos(e.start_ns), Ev::FaultBegin(i));
+        engine.schedule_at(SimTime::from_nanos(e.end_ns()), Ev::FaultEnd(i));
+    }
+    if let Some(at) = drain_at {
+        engine.schedule_at(SimTime::ZERO + at, Ev::DrainStart);
+        engine.schedule_at(SimTime::ZERO + at + drain_deadline, Ev::DrainDeadline);
     }
     if let Some(period) = obs_tick {
         engine.schedule_at(SimTime::ZERO + period, Ev::ObsSample);

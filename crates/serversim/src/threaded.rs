@@ -18,6 +18,9 @@ pub enum SynOutcome {
     Queued,
     /// Backlog full; the SYN is dropped (client will retransmit).
     Dropped,
+    /// The server is draining: new connections are refused explicitly
+    /// (the client observes conn-refused, not silence).
+    Refused,
 }
 
 /// Pool and backlog state of the threaded server.
@@ -31,6 +34,11 @@ pub struct ThreadedServer {
     pub peak_in_use: usize,
     /// SYNs dropped due to backlog overflow (reporting).
     pub syns_dropped: u64,
+    /// SYNs refused explicitly while draining (reporting).
+    pub syns_refused: u64,
+    /// Graceful drain in progress: refuse new work, finish bound
+    /// connections, stop rebinding freed threads to the backlog.
+    draining: bool,
 }
 
 impl ThreadedServer {
@@ -43,7 +51,20 @@ impl ThreadedServer {
             backlog: VecDeque::new(),
             peak_in_use: 0,
             syns_dropped: 0,
+            syns_refused: 0,
+            draining: false,
         }
+    }
+
+    /// Begin a graceful drain: every subsequent SYN is refused and freed
+    /// threads are retired instead of rebound to the backlog.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Drain in progress?
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     pub fn pool_size(&self) -> usize {
@@ -60,7 +81,10 @@ impl ThreadedServer {
 
     /// A SYN arrived for `conn`.
     pub fn on_syn(&mut self, conn: ConnId) -> SynOutcome {
-        if self.in_use < self.pool_size {
+        if self.draining {
+            self.syns_refused += 1;
+            SynOutcome::Refused
+        } else if self.in_use < self.pool_size {
             self.bind();
             SynOutcome::AcceptNow
         } else if self.backlog.len() < self.backlog_cap {
@@ -85,6 +109,11 @@ impl ThreadedServer {
     pub fn release(&mut self) -> Option<ConnId> {
         debug_assert!(self.in_use > 0, "release with no bound threads");
         self.in_use -= 1;
+        if self.draining {
+            // Freed threads retire; the backlog is dealt with by the
+            // drain deadline, not by rebinding.
+            return None;
+        }
         let next = self.backlog.pop_front();
         if next.is_some() {
             self.bind();
@@ -145,6 +174,22 @@ mod tests {
         assert_eq!(s.release(), Some(c(3)));
         assert_eq!(s.release(), None);
         assert_eq!(s.threads_in_use(), 0);
+    }
+
+    #[test]
+    fn drain_refuses_and_retires_threads() {
+        let mut s = ThreadedServer::new(2, 4);
+        assert_eq!(s.on_syn(c(1)), SynOutcome::AcceptNow);
+        assert_eq!(s.on_syn(c(2)), SynOutcome::AcceptNow);
+        assert_eq!(s.on_syn(c(3)), SynOutcome::Queued);
+        s.begin_drain();
+        assert!(s.is_draining());
+        assert_eq!(s.on_syn(c(4)), SynOutcome::Refused);
+        assert_eq!(s.syns_refused, 1);
+        // Freed threads are not rebound to the backlog while draining.
+        assert_eq!(s.release(), None);
+        assert_eq!(s.threads_in_use(), 1);
+        assert_eq!(s.backlog_len(), 1);
     }
 
     #[test]

@@ -2,8 +2,14 @@
 //! configurations, and recovery behaviour.
 
 use desim::SimDuration;
+use faults::FaultPlan;
 use netsim::LinkConfig;
 use serversim::{run, RunResult, ServerArch, TestbedConfig};
+
+/// Timing guard: no failure-injection test may simulate more virtual time
+/// than this. Long horizons creep in easily ("just watch recovery a bit
+/// longer") and each extra virtual second is real CPU in every CI run.
+const MAX_VIRTUAL: SimDuration = SimDuration::from_secs(45);
 
 fn base(server: ServerArch, clients: u32) -> TestbedConfig {
     let link = LinkConfig::from_mbit(1000.0, SimDuration::from_micros(100));
@@ -16,6 +22,11 @@ fn base(server: ServerArch, clients: u32) -> TestbedConfig {
 }
 
 fn execute(cfg: TestbedConfig) -> (RunResult, Vec<f64>) {
+    assert!(
+        cfg.duration <= MAX_VIRTUAL,
+        "test simulates {} of virtual time, cap is {MAX_VIRTUAL}",
+        cfg.duration
+    );
     let secs = cfg.duration.as_secs_f64();
     let tb = run(cfg.clone());
     let rates = tb.metrics.replies.rates_per_sec();
@@ -84,6 +95,7 @@ fn threaded_server_survives_outage_with_thread_reclamation() {
     // threads).
     let mut cfg = base(ServerArch::Threaded { pool: 256 }, 200);
     cfg.link_outages = vec![(0, SimDuration::from_secs(15), SimDuration::from_secs(12))];
+    assert!(cfg.duration <= MAX_VIRTUAL);
     let secs = cfg.duration.as_secs_f64();
     let tb = run(cfg.clone());
     let rates = tb.metrics.replies.rates_per_sec();
@@ -101,4 +113,46 @@ fn threaded_server_survives_outage_with_thread_reclamation() {
         "thread accounting leaked: {bound} bound for 200 clients"
     );
     assert!(result.errors.client_timeout > 0);
+}
+
+#[test]
+fn threaded_server_recovers_from_worker_crash_plan() {
+    // Half the pool crashes at t=12 s and restarts at t=22 s. The survivors
+    // must keep serving during the window and full throughput must be back
+    // once the crashed threads return.
+    let mut cfg = base(ServerArch::Threaded { pool: 64 }, 200);
+    cfg.fault_plan = Some(FaultPlan::named("worker-crash").unwrap());
+    let (result, rates) = execute(cfg);
+    let before: f64 = rates[8..12].iter().sum::<f64>() / 4.0;
+    let during: f64 = rates[13..21].iter().sum::<f64>() / 8.0;
+    let after: f64 = rates[25..38].iter().sum::<f64>() / 13.0;
+    assert!(
+        during > 0.0,
+        "surviving threads must keep serving: before {before:.0}, during {during:.0}"
+    );
+    assert!(
+        after > before * 0.8,
+        "pool must recover after restart: before {before:.0}, after {after:.0}"
+    );
+    assert!(result.throughput_rps > 0.0);
+}
+
+#[test]
+fn threaded_server_recovers_from_stall_plan() {
+    // A whole-server stall (GC pause analogue) from t=12 s for 6 s: nothing
+    // progresses during it, everything recovers after.
+    let mut cfg = base(ServerArch::Threaded { pool: 256 }, 200);
+    cfg.fault_plan = Some(FaultPlan::named("stall").unwrap());
+    let (_result, rates) = execute(cfg);
+    let before: f64 = rates[8..12].iter().sum::<f64>() / 4.0;
+    let during: f64 = rates[13..17].iter().sum::<f64>() / 4.0;
+    let after: f64 = rates[24..38].iter().sum::<f64>() / 14.0;
+    assert!(
+        during < before * 0.2,
+        "stall should freeze throughput: before {before:.0}, during {during:.0}"
+    );
+    assert!(
+        after > before * 0.7,
+        "throughput must recover after the stall: before {before:.0}, after {after:.0}"
+    );
 }

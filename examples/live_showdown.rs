@@ -52,6 +52,7 @@ fn main() {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .expect("start nio server");
@@ -69,6 +70,7 @@ fn main() {
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 64,
             idle_timeout: Some(Duration::from_secs(2)),
+            shed_watermark: None,
             content: Arc::clone(&content),
         })
         .expect("start pool server");

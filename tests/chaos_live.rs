@@ -1,0 +1,230 @@
+//! Live-layer robustness: graceful drain loses no in-flight responses,
+//! admission control refuses at the door, and a [`faults::FaultPlan`]
+//! replays against real servers over loopback sockets.
+
+#![cfg(target_os = "linux")]
+
+use desim::Rng;
+use faults::{FaultEvent, FaultKind, FaultPlan};
+use httpcore::ContentStore;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::{FileSet, SurgeConfig};
+
+fn content() -> Arc<ContentStore> {
+    let mut rng = Rng::new(7);
+    let fs = FileSet::build(
+        &SurgeConfig {
+            num_files: 20,
+            tail_prob: 0.0,
+            ..SurgeConfig::default()
+        },
+        &mut rng,
+    );
+    Arc::new(ContentStore::from_fileset(&fs))
+}
+
+fn start_nio(workers: usize, shed: Option<u64>) -> nioserver::NioServer {
+    nioserver::NioServer::start(nioserver::NioConfig {
+        workers,
+        selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: shed,
+        content: content(),
+    })
+    .unwrap()
+}
+
+fn start_pool(pool_size: usize, shed: Option<u64>) -> poolserver::PoolServer {
+    poolserver::PoolServer::start(poolserver::PoolConfig {
+        pool_size,
+        idle_timeout: Some(Duration::from_secs(30)),
+        shed_watermark: shed,
+        content: content(),
+    })
+    .unwrap()
+}
+
+/// Open a keep-alive connection and run one complete request/response on
+/// it, leaving the connection open and idle.
+fn idle_after_one(addr: SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    read_one_response(&mut s);
+    s
+}
+
+/// Read exactly one HTTP response (head + content-length body) off an open
+/// connection; returns (status, body bytes).
+fn read_one_response(s: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(head) = httpcore::parse_response_head(&buf) {
+            let head = head.expect("valid response head");
+            if buf.len() >= head.head_len + head.content_length {
+                let body = buf[head.head_len..head.head_len + head.content_length].to_vec();
+                return (head.status, body);
+            }
+        }
+        let n = s.read(&mut chunk).expect("read response");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+fn nio_graceful_drain_delivers_in_flight_response() {
+    let server = start_nio(1, None);
+    let addr = server.addr();
+
+    // Connection A: complete one exchange, then sit idle (keep-alive).
+    let _a = idle_after_one(addr);
+
+    // Connection B: half a request on the wire when the drain begins.
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    b.write_all(b"GET /f/1 HTT").unwrap();
+    // Let the worker pull the partial bytes into its parser so the drain
+    // sweep sees B as in-flight, not idle.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let drain = std::thread::spawn(move || server.shutdown_graceful(Duration::from_secs(3)));
+    std::thread::sleep(Duration::from_millis(100));
+    // Finish the request mid-drain: the response must still arrive whole.
+    b.write_all(b"P/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, body) = read_one_response(&mut b);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+
+    let report = drain.join().unwrap();
+    assert_eq!(report.aborted, 0, "no in-flight response may be lost");
+    assert_eq!(report.drained, 2, "idle A and served B both end cleanly");
+}
+
+#[test]
+fn pool_graceful_drain_delivers_in_flight_response() {
+    let server = start_pool(4, None);
+    let addr = server.addr();
+
+    // A: idle keep-alive; its pool thread is parked in a blocking read.
+    let _a = idle_after_one(addr);
+
+    // B: request answered by the server but not yet read by the client —
+    // the drain must not claw those bytes back.
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    b.write_all(b"GET /f/2 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let report = server.shutdown_graceful(Duration::from_secs(3));
+    assert_eq!(report.aborted, 0, "no response was owed at the deadline");
+    assert_eq!(report.drained, 2);
+
+    let (status, body) = read_one_response(&mut b);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+}
+
+#[test]
+fn shed_watermark_refuses_at_the_door_on_both_servers() {
+    // Watermark 0: every connection is over the limit, so both servers
+    // answer the door only to slam it (abortive close, not a silent drop).
+    let nio = start_nio(1, Some(0));
+    let mut s = TcpStream::connect(nio.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let _ = s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n");
+    let mut sink = Vec::new();
+    assert!(
+        s.read_to_end(&mut sink).is_err() || sink.is_empty(),
+        "a shed connection must carry no response"
+    );
+    let refused = nio.stats().refused.load(Ordering::Relaxed);
+    assert!(refused >= 1, "nio refused counter: {refused}");
+    nio.shutdown();
+
+    let pool = start_pool(2, Some(0));
+    let mut s = TcpStream::connect(pool.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let _ = s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n");
+    let mut sink = Vec::new();
+    assert!(s.read_to_end(&mut sink).is_err() || sink.is_empty());
+    // The accept loop may need a beat to pick the connection up.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while pool.stats().refused.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(pool.stats().refused.load(Ordering::Relaxed) >= 1);
+    pool.shutdown();
+}
+
+/// A millisecond-denominated stall+crash plan for loopback replay.
+fn quick_plan() -> FaultPlan {
+    let ms = 1_000_000u64;
+    FaultPlan::new(
+        "live-smoke",
+        vec![
+            FaultEvent {
+                start_ns: 0,
+                duration_ns: 120 * ms,
+                kind: FaultKind::ServerStall,
+            },
+            FaultEvent {
+                start_ns: 20 * ms,
+                duration_ns: 120 * ms,
+                kind: FaultKind::WorkerCrash {
+                    fraction: 0.5,
+                    restart: true,
+                },
+            },
+        ],
+    )
+}
+
+fn get_ok(addr: SocketAddr, path: &str) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let (status, _) = read_one_response(&mut s);
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn fault_plan_replays_against_live_nio_server() {
+    let server = start_nio(2, None);
+    let outcome = faults::run_plan(&quick_plan(), &server, 1.0);
+    assert_eq!(outcome.applied, 2);
+    assert_eq!(outcome.skipped, 0);
+    assert!(server.stats().worker_crashes.load(Ordering::Relaxed) >= 1);
+    // The restarted worker comes back and the server serves normally.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while server.stats().alive_workers.load(Ordering::Relaxed) < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().alive_workers.load(Ordering::Relaxed), 2);
+    for i in 0..4 {
+        get_ok(server.addr(), &format!("/f/{i}"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn fault_plan_replays_against_live_pool_server() {
+    let server = start_pool(4, None);
+    let outcome = faults::run_plan(&quick_plan(), &server, 1.0);
+    assert_eq!(outcome.applied, 2);
+    assert_eq!(outcome.skipped, 0);
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while server.stats().alive_threads.load(Ordering::Relaxed) < 4 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().alive_threads.load(Ordering::Relaxed), 4);
+    for i in 0..4 {
+        get_ok(server.addr(), &format!("/f/{i}"));
+    }
+    server.shutdown();
+}

@@ -61,6 +61,7 @@ fn reset_contrast_holds_in_both_layers() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -70,6 +71,7 @@ fn reset_contrast_holds_in_both_layers() {
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 8,
         idle_timeout: Some(Duration::from_millis(300)),
+        shed_watermark: None,
         content,
     })
     .unwrap();
@@ -125,6 +127,7 @@ fn exhaustion_contrast_holds_in_both_layers() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -133,6 +136,7 @@ fn exhaustion_contrast_holds_in_both_layers() {
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 2,
         idle_timeout: Some(Duration::from_secs(1)),
+        shed_watermark: None,
         content,
     })
     .unwrap();

@@ -40,6 +40,7 @@ fn one_worker_reactor_sustains_many_live_clients() {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content,
     })
     .unwrap();
@@ -59,6 +60,7 @@ fn poll_backend_works_like_epoll() {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 2,
         selector: nioserver::SelectorKind::Poll,
+        shed_watermark: None,
         content,
     })
     .unwrap();
@@ -77,6 +79,7 @@ fn live_reset_contrast_between_architectures() {
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 8,
         idle_timeout: Some(Duration::from_millis(300)),
+        shed_watermark: None,
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -89,6 +92,7 @@ fn live_reset_contrast_between_architectures() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content,
     })
     .unwrap();
@@ -120,6 +124,7 @@ fn live_pool_exhaustion_throttles_throughput() {
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 2,
         idle_timeout: Some(Duration::from_secs(1)),
+        shed_watermark: None,
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -129,6 +134,7 @@ fn live_pool_exhaustion_throttles_throughput() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content,
     })
     .unwrap();

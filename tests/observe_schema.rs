@@ -94,6 +94,7 @@ fn live_capture() -> String {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: None,
         content,
     })
     .expect("start server");
@@ -171,6 +172,86 @@ fn sim_and_live_jsonl_share_one_schema() {
             assert_eq!(sum, total, "stages must sum to total: {line}");
         }
     }
+}
+
+/// The `refused` end reason flows through both exporters in both layers:
+/// a sim run with admission control and a live run against a shedding
+/// server each emit `"end":"refused"` JSONL lines, and the terminal
+/// end-reason table shows a non-zero `refused` row.
+#[test]
+fn refused_end_reason_reaches_both_exporters_in_both_layers() {
+    // Sim layer: a threaded server with a low shed watermark refuses
+    // connections once a couple of threads are bound.
+    let link = netsim::LinkConfig::from_mbit(1000.0, SimDuration::from_micros(100));
+    let mut cfg = eventscale::serversim::TestbedConfig::paper_default(
+        eventscale::serversim::ServerArch::Threaded { pool: 2 },
+        1,
+        link,
+    );
+    cfg.num_clients = 40;
+    cfg.duration = SimDuration::from_secs(6);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.ramp = SimDuration::from_millis(500);
+    cfg.admission.shed_watermark = Some(2);
+    cfg.obs = Some(obs::ObsConfig::default());
+    let tb = eventscale::serversim::run(cfg);
+    assert!(
+        tb.metrics.errors.connection_refused > 0,
+        "watermark must trip: {:?}",
+        tb.metrics.errors
+    );
+    let meta = obs::ExportMeta::new("sim", "refused-sim");
+    let sim_jsonl = obs::to_jsonl(&tb.obs, &meta, 0);
+    assert!(
+        sim_jsonl.contains(r#""end":"refused""#),
+        "sim JSONL must carry refused request lines"
+    );
+    let sim_table = obs::report::end_reason_table(&tb.obs.requests);
+    assert!(sim_table.contains("refused"), "table: {sim_table}");
+
+    // Live layer: a shedding nio server refuses at the door; loadgen's
+    // capture classifies those ends as refused, not reset.
+    let mut rng = desim::Rng::new(5);
+    let files = FileSet::build(
+        &SurgeConfig {
+            num_files: 10,
+            tail_prob: 0.0,
+            ..SurgeConfig::default()
+        },
+        &mut rng,
+    );
+    let server = nioserver::NioServer::start(nioserver::NioConfig {
+        workers: 1,
+        selector: nioserver::SelectorKind::Epoll,
+        shed_watermark: Some(0),
+        content: Arc::new(ContentStore::from_fileset(&files)),
+    })
+    .expect("start server");
+    let cfg = loadgen::LoadConfig {
+        target: server.addr(),
+        clients: 4,
+        duration: Duration::from_millis(500),
+        client_timeout: Duration::from_secs(2),
+        think_scale: 0.005,
+        seed: 9,
+        obs: Some(obs::ObsConfig::default()),
+        ..Default::default()
+    };
+    let report = loadgen::run(&cfg, &files);
+    server.shutdown();
+    assert!(
+        report.errors.connection_refused > 0,
+        "live shed must refuse: {:?}",
+        report.errors
+    );
+    let meta = obs::ExportMeta::new("live", "refused-live");
+    let live_jsonl = obs::to_jsonl(&report.obs, &meta, 0);
+    assert!(
+        live_jsonl.contains(r#""end":"refused""#),
+        "live JSONL must carry refused request lines"
+    );
+    let live_table = obs::report::end_reason_table(&report.obs.requests);
+    assert!(live_table.contains("refused"), "table: {live_table}");
 }
 
 fn field_u64(line: &str, key: &str) -> u64 {
