@@ -12,6 +12,11 @@
 //!   repro chaos               # replay every named fault plan against both
 //!                             # architectures; report degradation and
 //!                             # time-to-recover (--smoke: CI subset)
+//!   repro bench               # live loopback perf bench on both real
+//!                             # servers; writes BENCH_live.json
+//!   repro bench --smoke       # short re-run: validate the committed
+//!                             # BENCH_live.json schema and fail on a >20%
+//!                             # throughput regression vs that baseline
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -29,6 +34,7 @@ fn main() {
     let mut quick = false;
     let mut observe_mode = false;
     let mut chaos_mode = false;
+    let mut bench_mode = false;
     let mut smoke = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
@@ -39,6 +45,7 @@ fn main() {
             "--smoke" => smoke = true,
             "observe" => observe_mode = true,
             "chaos" => chaos_mode = true,
+            "bench" => bench_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -65,13 +72,14 @@ fn main() {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
                 println!("robustness:       sensitivity chaos");
+                println!("performance:      bench");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
                 println!("extensions:       {}", EXTENSION_IDS.join(" "));
                 std::process::exit(0);
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [observe] [all | ext | everything | chaos | fig1a ...] [--quick] [--smoke] [--json PATH]"
+                    "usage: repro [observe] [all | ext | everything | chaos | bench | fig1a ...] [--quick] [--smoke] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +94,45 @@ fn main() {
             other => ids.push(other.to_string()),
         }
         i += 1;
+    }
+    if bench_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_bench(smoke);
+        println!("{}", experiments::render_bench(&report));
+        let doc = experiments::bench_to_json(&report).render();
+        if smoke {
+            // CI gate: the committed baseline must parse, and the fresh
+            // smoke run must not regress throughput past the tolerance.
+            let path = json_path
+                .unwrap_or_else(|| experiments::BENCH_BASELINE_PATH.to_string());
+            let baseline_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let baseline = experiments::parse_bench_json(&baseline_text).unwrap_or_else(|e| {
+                eprintln!("baseline {path} failed schema validation: {e}");
+                std::process::exit(1);
+            });
+            let checks = experiments::regression_checks(
+                &baseline,
+                &report,
+                experiments::REGRESSION_TOLERANCE,
+            );
+            println!("{}", render_checks(&checks));
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+            let failed = checks.iter().filter(|c| !c.pass).count();
+            if failed > 0 {
+                eprintln!("{failed} bench check(s) FAILED");
+                std::process::exit(1);
+            }
+        } else {
+            let path = json_path
+                .unwrap_or_else(|| experiments::BENCH_BASELINE_PATH.to_string());
+            std::fs::write(&path, &doc).expect("write bench json");
+            println!("wrote {path}");
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        }
+        return;
     }
     if chaos_mode {
         let start = std::time::Instant::now();

@@ -7,18 +7,25 @@
 //! * [`checks`] — who-wins/crossover assertions per figure;
 //! * [`tables`] — the §4.1/§5.1 best-configuration determinations;
 //! * [`sensitivity`] — do the conclusions survive cost perturbations?
+//! * [`perfbench`] — the live loopback bench behind `repro bench` and its
+//!   `BENCH_live.json` regression guard.
 
 pub mod catalog;
 pub mod chaos;
 pub mod checks;
 pub mod figure;
 pub mod observe;
+pub mod perfbench;
 pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
 
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
+pub use perfbench::{
+    bench_to_json, parse_bench_json, regression_checks, render_bench, run_bench, BenchReport,
+    BenchResult, BENCH_BASELINE_PATH, BENCH_SCHEMA, REGRESSION_TOLERANCE,
+};
 pub use checks::{check_figure, render_checks, Check};
 pub use figure::{Figure, Metric, Series};
 pub use observe::{observe, Observation};

@@ -1,0 +1,678 @@
+//! `repro bench` — the live loopback performance benchmark and its
+//! regression guard.
+//!
+//! The simulation figures assert the paper's *shape*; this module pins the
+//! live hot path's *speed*. It drives both real servers (`nioserver`,
+//! `poolserver`) over loopback with the httperf-style generator at a fixed
+//! concurrency and zero think time — pure reply-path pressure — and emits
+//! `BENCH_live.json` with one row per architecture: replies/s, p50/p99
+//! response time, bytes/s. CI re-runs a short smoke bench and fails when
+//! throughput regresses more than [`REGRESSION_TOLERANCE`] against the
+//! committed baseline, so hot-path wins stay locked in.
+//!
+//! Everything is deterministic except the machine itself: the file set,
+//! session plans, and request order are seeded, so two runs on one host
+//! differ only by scheduler noise.
+
+use crate::checks::Check;
+use httpcore::ContentStore;
+use metrics::Json;
+use std::sync::Arc;
+use std::time::Duration;
+use workload::{FileSet, SessionConfig, SurgeConfig};
+
+/// Schema tag emitted in (and required of) `BENCH_live.json`.
+pub const BENCH_SCHEMA: &str = "bench-live/v1";
+
+/// Fractional throughput loss vs the committed baseline that fails CI.
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Default output / baseline path, relative to the repo root.
+pub const BENCH_BASELINE_PATH: &str = "BENCH_live.json";
+
+/// One architecture's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Architecture label, e.g. `nio-epoll-w1` or `httpd-p16`.
+    pub arch: String,
+    pub replies_per_sec: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub bytes_per_sec: f64,
+    pub replies: u64,
+    /// Client-observed errors of any kind (should be 0 on loopback).
+    pub errors: u64,
+    pub clients: usize,
+    pub duration_s: f64,
+}
+
+/// Everything `repro bench` measures and serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `paper` or `smoke`.
+    pub scale: String,
+    pub results: Vec<BenchResult>,
+}
+
+/// Concurrency is fixed (the regression guard compares like with like);
+/// only the wall-clock budget differs between the full and smoke runs.
+const BENCH_CLIENTS: usize = 8;
+const FULL_SECS: f64 = 4.0;
+const SMOKE_SECS: f64 = 1.5;
+const BENCH_SEED: u64 = 0xBE5C_0001;
+/// Trials per architecture; the best (highest replies/s) is reported.
+/// Interference on a dedicated loopback bench only ever *subtracts*
+/// throughput, so the max over trials estimates true capacity and keeps
+/// the regression gate from tripping on scheduler noise.
+const FULL_TRIALS: usize = 3;
+const SMOKE_TRIALS: usize = 2;
+
+/// The benched file set: SURGE-shaped (lognormal body, Pareto tail) but
+/// weighted toward larger bodies than the browsing mix — `body_mu` raised
+/// and the popularity/size correlation off, so the served mean lands around
+/// 80 KB instead of ~9 KB. This bench guards the *reply path*: with
+/// body-dominated replies, a regression in body handling (an extra copy, a
+/// lost vectored write) moves throughput far more than scheduler noise
+/// does; at browsing sizes it would hide inside the per-request fixed
+/// costs. Seeded so every run serves identical bytes.
+fn bench_files() -> FileSet {
+    let mut rng = desim::Rng::new(BENCH_SEED);
+    FileSet::build(
+        &SurgeConfig {
+            num_files: 200,
+            body_mu: 10.8,
+            tail_prob: 0.10,
+            tail_cap: 500_000.0,
+            correlate_popularity_with_size: false,
+            ..SurgeConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+fn bench_load(target: std::net::SocketAddr, duration: Duration) -> loadgen::LoadConfig {
+    loadgen::LoadConfig {
+        target,
+        clients: BENCH_CLIENTS,
+        duration,
+        session: SessionConfig::default(),
+        client_timeout: Duration::from_secs(10),
+        // Zero think time: clients hammer back-to-back sessions, so the
+        // measurement is the server's reply path, not the workload's OFF
+        // periods.
+        think_scale: 0.0,
+        seed: BENCH_SEED,
+        obs: None,
+        retry: None,
+    }
+}
+
+fn summarise(arch: &str, report: &loadgen::LoadReport) -> BenchResult {
+    let wall = report.wall.as_secs_f64().max(1e-9);
+    BenchResult {
+        arch: arch.to_string(),
+        replies_per_sec: report.replies as f64 / wall,
+        p50_ms: report.response_time_us.quantile(0.5) as f64 / 1000.0,
+        p99_ms: report.response_time_us.quantile(0.99) as f64 / 1000.0,
+        bytes_per_sec: report.bytes_received as f64 / wall,
+        replies: report.replies,
+        errors: report.errors.client_timeout
+            + report.errors.connection_reset
+            + report.errors.connection_refused
+            + report.errors.socket_error,
+        clients: BENCH_CLIENTS,
+        duration_s: wall,
+    }
+}
+
+/// Best-of-N trials against one live server.
+fn best_trial(
+    arch: &str,
+    addr: std::net::SocketAddr,
+    files: &FileSet,
+    duration: Duration,
+    trials: usize,
+) -> BenchResult {
+    let mut best: Option<BenchResult> = None;
+    for _ in 0..trials {
+        let report = loadgen::run(&bench_load(addr, duration), files);
+        let r = summarise(arch, &report);
+        if best
+            .as_ref()
+            .is_none_or(|b| r.replies_per_sec > b.replies_per_sec)
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+/// Run the live bench: both architectures, fixed concurrency, loopback.
+pub fn run_bench(smoke: bool) -> BenchReport {
+    let files = bench_files();
+    let content = Arc::new(ContentStore::from_fileset(&files));
+    let duration = Duration::from_secs_f64(if smoke { SMOKE_SECS } else { FULL_SECS });
+    let trials = if smoke { SMOKE_TRIALS } else { FULL_TRIALS };
+    let mut results = Vec::new();
+
+    {
+        let server = nioserver::NioServer::start(nioserver::NioConfig {
+            workers: 1,
+            selector: nioserver::SelectorKind::Epoll,
+            shed_watermark: None,
+            content: Arc::clone(&content),
+        })
+        .expect("start nio server");
+        results.push(best_trial(
+            "nio-epoll-w1",
+            server.addr(),
+            &files,
+            duration,
+            trials,
+        ));
+        server.shutdown();
+    }
+    {
+        // Pool sized to the client count: every connection gets a thread
+        // immediately, and no surplus threads add scheduler noise on small
+        // hosts (the bench measures the reply path, not queueing).
+        let server = poolserver::PoolServer::start(poolserver::PoolConfig {
+            pool_size: BENCH_CLIENTS,
+            idle_timeout: Some(Duration::from_secs(15)),
+            shed_watermark: None,
+            content: Arc::clone(&content),
+        })
+        .expect("start pool server");
+        results.push(best_trial(
+            &format!("httpd-p{BENCH_CLIENTS}"),
+            server.addr(),
+            &files,
+            duration,
+            trials,
+        ));
+        server.shutdown();
+    }
+
+    BenchReport {
+        scale: if smoke { "smoke" } else { "paper" }.to_string(),
+        results,
+    }
+}
+
+/// Render the per-architecture table.
+pub fn render_bench(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>9} {:>9} {:>12} {:>9} {:>7}\n",
+        "arch", "replies/s", "p50(ms)", "p99(ms)", "bytes/s", "replies", "errors"
+    ));
+    for r in &report.results {
+        out.push_str(&format!(
+            "{:<14} {:>10.0} {:>9.2} {:>9.2} {:>12.0} {:>9} {:>7}\n",
+            r.arch, r.replies_per_sec, r.p50_ms, r.p99_ms, r.bytes_per_sec, r.replies, r.errors
+        ));
+    }
+    out
+}
+
+/// Serialise to the `BENCH_live.json` document.
+pub fn bench_to_json(report: &BenchReport) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+        ("scale", Json::Str(report.scale.clone())),
+        (
+            "results",
+            Json::Array(
+                report
+                    .results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("arch", Json::Str(r.arch.clone())),
+                            ("replies_per_sec", Json::Num(r.replies_per_sec)),
+                            ("p50_ms", Json::Num(r.p50_ms)),
+                            ("p99_ms", Json::Num(r.p99_ms)),
+                            ("bytes_per_sec", Json::Num(r.bytes_per_sec)),
+                            ("replies", Json::Num(r.replies as f64)),
+                            ("errors", Json::Num(r.errors as f64)),
+                            ("clients", Json::Num(r.clients as f64)),
+                            ("duration_s", Json::Num(r.duration_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Baseline parsing + regression checks
+// ---------------------------------------------------------------------
+
+/// Parse and schema-validate a `BENCH_live.json` document. The emitter is
+/// [`bench_to_json`]; this is the matching (deliberately strict) reader —
+/// unknown schema tags, missing fields, or non-finite numbers are errors.
+pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
+    let value = JsonParser::new(text).parse_document()?;
+    let doc = value.as_object().ok_or("top level must be an object")?;
+    let schema = get_str(doc, "schema")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema '{schema}' != required '{BENCH_SCHEMA}'"));
+    }
+    let scale = get_str(doc, "scale")?.to_string();
+    let results_v = get(doc, "results")?;
+    let rows = results_v.as_array().ok_or("'results' must be an array")?;
+    if rows.is_empty() {
+        return Err("'results' is empty".to_string());
+    }
+    let mut results = Vec::new();
+    for row in rows {
+        let obj = row.as_object().ok_or("result row must be an object")?;
+        let r = BenchResult {
+            arch: get_str(obj, "arch")?.to_string(),
+            replies_per_sec: get_num(obj, "replies_per_sec")?,
+            p50_ms: get_num(obj, "p50_ms")?,
+            p99_ms: get_num(obj, "p99_ms")?,
+            bytes_per_sec: get_num(obj, "bytes_per_sec")?,
+            replies: get_num(obj, "replies")? as u64,
+            errors: get_num(obj, "errors")? as u64,
+            clients: get_num(obj, "clients")? as usize,
+            duration_s: get_num(obj, "duration_s")?,
+        };
+        if r.replies_per_sec <= 0.0 {
+            return Err(format!("{}: replies_per_sec must be positive", r.arch));
+        }
+        results.push(r);
+    }
+    Ok(BenchReport { scale, results })
+}
+
+/// The CI gate: every architecture present in the baseline must still be
+/// measured, and its throughput must not have dropped more than
+/// `tolerance` (fractional) below the baseline.
+pub fn regression_checks(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Vec<Check> {
+    let mut out = Vec::new();
+    for base in &baseline.results {
+        let Some(cur) = current.results.iter().find(|r| r.arch == base.arch) else {
+            out.push(Check::new(
+                &format!("bench: {} present", base.arch),
+                false,
+                "architecture missing from current run".to_string(),
+            ));
+            continue;
+        };
+        let floor = base.replies_per_sec * (1.0 - tolerance);
+        out.push(Check::new(
+            &format!("bench: {} throughput within {:.0}% of baseline", base.arch, tolerance * 100.0),
+            cur.replies_per_sec >= floor,
+            format!(
+                "baseline {:.0}/s, current {:.0}/s, floor {:.0}/s",
+                base.replies_per_sec, cur.replies_per_sec, floor
+            ),
+        ));
+        out.push(Check::new(
+            &format!("bench: {} run is error-free", base.arch),
+            cur.errors == 0,
+            format!("{} client-observed errors", cur.errors),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (just enough to read our own emitter's output)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_str<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        JsonValue::Str(s) => Ok(s),
+        _ => Err(format!("field '{key}' must be a string")),
+    }
+}
+
+fn get_num(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        JsonValue::Num(n) if n.is_finite() => Ok(*n),
+        JsonValue::Num(_) => Err(format!("field '{key}' must be finite")),
+        _ => Err(format!("field '{key}' must be a number")),
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(JsonValue::Str(self.parse_string()?)),
+            b't' => self.parse_lit("true", JsonValue::Bool(true)),
+            b'f' => self.parse_lit("false", JsonValue::Bool(false)),
+            b'n' => self.parse_lit("null", JsonValue::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(out));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            out.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(out));
+        }
+        loop {
+            out.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Recover the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf-8")?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> BenchReport {
+        BenchReport {
+            scale: "paper".to_string(),
+            results: vec![
+                BenchResult {
+                    arch: "nio-epoll-w1".to_string(),
+                    replies_per_sec: 10_000.0,
+                    p50_ms: 0.5,
+                    p99_ms: 2.25,
+                    bytes_per_sec: 250e6,
+                    replies: 60_000,
+                    errors: 0,
+                    clients: 8,
+                    duration_s: 6.0,
+                },
+                BenchResult {
+                    arch: "httpd-p16".to_string(),
+                    replies_per_sec: 8_000.0,
+                    p50_ms: 0.7,
+                    p99_ms: 3.0,
+                    bytes_per_sec: 200e6,
+                    replies: 48_000,
+                    errors: 0,
+                    clients: 8,
+                    duration_s: 6.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_validator() {
+        let report = fake_report();
+        let text = bench_to_json(&report).render();
+        let parsed = parse_bench_json(&text).expect("valid document");
+        assert_eq!(parsed.scale, "paper");
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.results[0].arch, "nio-epoll-w1");
+        assert!((parsed.results[0].replies_per_sec - 10_000.0).abs() < 1e-6);
+        assert_eq!(parsed.results[1].replies, 48_000);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(parse_bench_json("").is_err());
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("[1,2,3]").is_err());
+        // Wrong schema tag.
+        assert!(parse_bench_json(r#"{"schema":"nope","scale":"paper","results":[]}"#).is_err());
+        // Right schema, empty results.
+        let text = format!(r#"{{"schema":"{BENCH_SCHEMA}","scale":"paper","results":[]}}"#);
+        assert!(parse_bench_json(&text).is_err());
+        // Missing field in a row.
+        let text = format!(
+            r#"{{"schema":"{BENCH_SCHEMA}","scale":"paper","results":[{{"arch":"x"}}]}}"#
+        );
+        assert!(parse_bench_json(&text).is_err());
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_tolerance() {
+        let base = fake_report();
+        let mut cur = fake_report();
+        // 10% down: inside the 20% tolerance.
+        cur.results[0].replies_per_sec = 9_000.0;
+        let checks = regression_checks(&base, &cur, REGRESSION_TOLERANCE);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+        // 25% down: outside.
+        cur.results[0].replies_per_sec = 7_500.0;
+        let checks = regression_checks(&base, &cur, REGRESSION_TOLERANCE);
+        assert!(checks.iter().any(|c| !c.pass));
+        // Missing architecture fails.
+        cur.results.remove(1);
+        cur.results[0].replies_per_sec = 10_000.0;
+        let checks = regression_checks(&base, &cur, REGRESSION_TOLERANCE);
+        assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn errors_fail_the_gate() {
+        let base = fake_report();
+        let mut cur = fake_report();
+        cur.results[0].errors = 3;
+        let checks = regression_checks(&base, &cur, REGRESSION_TOLERANCE);
+        assert!(checks.iter().any(|c| !c.pass));
+    }
+
+    #[test]
+    fn smoke_bench_runs_both_architectures() {
+        let report = run_bench(true);
+        assert_eq!(report.scale, "smoke");
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert!(r.replies > 0, "{}: no replies", r.arch);
+            assert!(r.replies_per_sec > 0.0);
+            assert!(r.bytes_per_sec > 0.0);
+            assert_eq!(r.errors, 0, "{}: {} errors", r.arch, r.errors);
+        }
+        // And the emitted document validates against its own schema.
+        let parsed = parse_bench_json(&bench_to_json(&report).render()).expect("schema");
+        assert_eq!(parsed.results.len(), 2);
+    }
+}

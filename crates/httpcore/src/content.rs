@@ -5,13 +5,44 @@
 //! body is a window into one shared byte arena (no per-file allocation —
 //! serving is a bounds-checked slice, like `sendfile` from page cache).
 
+use std::sync::Arc;
 use workload::{FileId, FileSet};
 
 /// In-memory static site.
 #[derive(Debug)]
 pub struct ContentStore {
     sizes: Vec<u64>,
-    arena: Vec<u8>,
+    /// Pre-rendered Last-Modified header values, one per file — the reply
+    /// hot path must not re-format a date (or allocate) per response.
+    last_modified: Vec<String>,
+    /// Shared so [`ArenaSlice`] handles can hold the arena alive without
+    /// copying body bytes out of it.
+    arena: Arc<[u8]>,
+}
+
+/// A cheaply clonable, owned handle to one file's body: the shared arena
+/// plus a length. This is what a staged zero-copy response holds instead of
+/// a memcpy'd `Vec<u8>` — cloning it is one atomic increment, and the bytes
+/// are read straight out of the arena at `write_vectored` time.
+#[derive(Debug, Clone)]
+pub struct ArenaSlice {
+    arena: Arc<[u8]>,
+    len: usize,
+}
+
+impl ArenaSlice {
+    /// The body bytes (a prefix window of the arena).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.arena[..self.len]
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 impl ContentStore {
@@ -22,7 +53,14 @@ impl ContentStore {
         let max = sizes.iter().copied().max().unwrap_or(0) as usize;
         // Deterministic, compressible-but-not-trivial filler.
         let arena: Vec<u8> = (0..max).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect();
-        ContentStore { sizes, arena }
+        let last_modified = (0..sizes.len())
+            .map(|i| crate::date::http_date(lm_unix(i as u32)))
+            .collect();
+        ContentStore {
+            sizes,
+            last_modified,
+            arena: arena.into(),
+        }
     }
 
     /// Number of files.
@@ -58,6 +96,15 @@ impl ContentStore {
         &self.arena[..len]
     }
 
+    /// Body of a file as an owned arena handle — the zero-copy staging
+    /// form: no bytes move, the response just keeps the arena alive.
+    pub fn body_slice(&self, id: FileId) -> ArenaSlice {
+        ArenaSlice {
+            arena: Arc::clone(&self.arena),
+            len: self.sizes[id.0 as usize] as usize,
+        }
+    }
+
     /// Size of a file in bytes.
     pub fn size_of(&self, id: FileId) -> u64 {
         self.sizes[id.0 as usize]
@@ -67,14 +114,20 @@ impl ContentStore {
     /// paper-era content, staggered per file so conditional-GET tests can
     /// tell documents apart.
     pub fn last_modified_unix(&self, id: FileId) -> u64 {
-        // 2004-01-01T00:00:00Z = 1072915200.
-        1_072_915_200 + id.0 as u64 * 60
+        lm_unix(id.0)
     }
 
-    /// The Last-Modified header value of a file.
-    pub fn last_modified(&self, id: FileId) -> String {
-        crate::date::http_date(self.last_modified_unix(id))
+    /// The Last-Modified header value of a file — pre-rendered at store
+    /// build, so a reply costs no date formatting and no allocation.
+    pub fn last_modified(&self, id: FileId) -> &str {
+        &self.last_modified[id.0 as usize]
     }
+}
+
+fn lm_unix(id: u32) -> u64 {
+    // 2004-01-01T00:00:00Z = 1072915200; staggered per file so
+    // conditional-GET tests can tell documents apart.
+    1_072_915_200 + id as u64 * 60
 }
 
 #[cfg(test)]

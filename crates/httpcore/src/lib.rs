@@ -5,17 +5,21 @@
 //! * [`request`] — incremental, never-panicking request parser with
 //!   persistent-connection and pipelining semantics;
 //! * [`response`] — response head writer (server) and parser (client);
+//! * [`reply`] — staged zero-copy reply queue (head + arena-slice segments
+//!   flushed with `write_vectored`);
 //! * [`content`] — the SURGE content store served by the real servers;
 //! * [`date`] — allocation-light IMF-fixdate formatting.
 
 pub mod buffer;
 pub mod content;
 pub mod date;
+pub mod reply;
 pub mod request;
 pub mod response;
 
 pub use buffer::ReadBuf;
-pub use content::ContentStore;
+pub use content::{ArenaSlice, ContentStore};
+pub use reply::ReplyQueue;
 pub use date::{http_date, now_http_date};
 pub use request::{Method, ParseError, ParseOutcome, ParserLimits, Request, RequestParser, Version};
 pub use response::{parse_response_head, write_head, write_head_full, ResponseHead, Status};

@@ -47,12 +47,14 @@ pub struct Request {
 }
 
 impl Request {
-    /// Look up a header by (case-insensitive) name.
+    /// Look up a header by (case-insensitive) name. Stored names are
+    /// already lower-cased; comparing case-insensitively (instead of
+    /// lower-casing `name` into a fresh `String`) keeps this lookup — on
+    /// the per-request hot path — allocation-free.
     pub fn header(&self, name: &str) -> Option<&str> {
-        let lower = name.to_ascii_lowercase();
         self.headers
             .iter()
-            .find(|(n, _)| *n == lower)
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 
@@ -97,6 +99,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl Default for Request {
+    fn default() -> Request {
+        Request {
+            method: Method::Other,
+            target: String::new(),
+            version: Version::Http11,
+            headers: Vec::new(),
+        }
+    }
+}
+
 /// Outcome of a parse attempt.
 #[derive(Debug, PartialEq)]
 pub enum ParseOutcome {
@@ -129,6 +142,10 @@ impl Default for ParserLimits {
 pub struct RequestParser {
     buf: ReadBuf,
     limits: ParserLimits,
+    /// A served [`Request`] handed back via [`RequestParser::recycle`]:
+    /// the next parse refills its strings in place, so a steady-state
+    /// connection parses every request without allocating.
+    spare: Option<Request>,
 }
 
 impl RequestParser {
@@ -136,6 +153,7 @@ impl RequestParser {
         RequestParser {
             buf: ReadBuf::with_capacity(1024),
             limits: ParserLimits::default(),
+            spare: None,
         }
     }
 
@@ -143,7 +161,14 @@ impl RequestParser {
         RequestParser {
             buf: ReadBuf::with_capacity(1024),
             limits,
+            spare: None,
         }
+    }
+
+    /// Hand a served request back so its allocations (target string,
+    /// header names/values) are reused by the next parse.
+    pub fn recycle(&mut self, req: Request) {
+        self.spare = Some(req);
     }
 
     /// Feed raw bytes from the socket.
@@ -168,14 +193,19 @@ impl RequestParser {
             return ParseOutcome::Incomplete;
         };
         let head = &data[..head_end];
-        let result = parse_head(head, self.limits);
+        let mut req = self.spare.take().unwrap_or_default();
+        let result = parse_head_into(head, self.limits, &mut req);
         // Consume the head plus its terminating CRLFCRLF regardless of
         // outcome; on error the connection dies anyway.
         let consumed = head_end + 4;
         self.buf.consume(consumed);
         match result {
-            Ok(req) => ParseOutcome::Complete(req),
-            Err(e) => ParseOutcome::Error(e),
+            Ok(()) => ParseOutcome::Complete(req),
+            Err(e) => {
+                // Keep the scratch allocations; the refill clears them.
+                self.spare = Some(req);
+                ParseOutcome::Error(e)
+            }
         }
     }
 }
@@ -186,7 +216,9 @@ fn find_double_crlf(data: &[u8]) -> Option<usize> {
     data.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn parse_head(head: &[u8], limits: ParserLimits) -> Result<Request, ParseError> {
+/// Parse the head block into `req`, reusing its existing allocations
+/// (target string, header name/value strings) wherever possible.
+fn parse_head_into(head: &[u8], limits: ParserLimits, req: &mut Request) -> Result<(), ParseError> {
     let mut lines = head.split(|&b| b == b'\n').map(|l| {
         // Tolerate both \r\n (after split) and bare \n.
         if l.last() == Some(&b'\r') {
@@ -214,9 +246,11 @@ fn parse_head(head: &[u8], limits: ParserLimits) -> Result<Request, ParseError> 
     if target.is_empty() || !target.iter().all(|&b| (0x21..0x7f).contains(&b)) {
         return Err(ParseError::BadRequestLine);
     }
-    let target = String::from_utf8_lossy(target).into_owned();
+    req.method = Method::from_bytes(method);
+    req.version = version;
+    set_lossy(&mut req.target, target);
 
-    let mut headers = Vec::new();
+    let mut n = 0;
     for line in lines {
         if line.is_empty() {
             continue; // trailing empty segment before the final CRLF
@@ -224,7 +258,7 @@ fn parse_head(head: &[u8], limits: ParserLimits) -> Result<Request, ParseError> 
         if line.len() > limits.max_line {
             return Err(ParseError::LineTooLong);
         }
-        if headers.len() >= limits.max_headers {
+        if n >= limits.max_headers {
             return Err(ParseError::TooManyHeaders);
         }
         let colon = line
@@ -235,19 +269,31 @@ fn parse_head(head: &[u8], limits: ParserLimits) -> Result<Request, ParseError> 
         if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
             return Err(ParseError::BadHeader);
         }
-        let value = &rest[1..];
-        let value = trim_ows(value);
-        headers.push((
-            String::from_utf8_lossy(name).to_ascii_lowercase(),
-            String::from_utf8_lossy(value).into_owned(),
-        ));
+        let value = trim_ows(&rest[1..]);
+        if n == req.headers.len() {
+            req.headers.push((String::new(), String::new()));
+        }
+        let (name_dst, value_dst) = &mut req.headers[n];
+        name_dst.clear();
+        // Token bytes are ASCII; lower-case while copying.
+        for &b in name {
+            name_dst.push(b.to_ascii_lowercase() as char);
+        }
+        set_lossy(value_dst, value);
+        n += 1;
     }
-    Ok(Request {
-        method: Method::from_bytes(method),
-        target,
-        version,
-        headers,
-    })
+    req.headers.truncate(n);
+    Ok(())
+}
+
+/// `dst = lossy-UTF-8(src)` without allocating on the (overwhelmingly
+/// common) valid-UTF-8 path.
+fn set_lossy(dst: &mut String, src: &[u8]) {
+    dst.clear();
+    match std::str::from_utf8(src) {
+        Ok(s) => dst.push_str(s),
+        Err(_) => dst.push_str(&String::from_utf8_lossy(src)),
+    }
 }
 
 fn trim_ows(mut v: &[u8]) -> &[u8] {

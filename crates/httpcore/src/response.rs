@@ -69,28 +69,51 @@ pub fn write_head_full(
     date: &str,
     last_modified: Option<&str>,
 ) -> usize {
-    use std::io::Write as _;
     let before = out.len();
     let ver = match version {
         Version::Http11 => "HTTP/1.1",
         Version::Http10 => "HTTP/1.0",
     };
-    // Vec<u8> Write is infallible.
-    let _ = write!(
-        out,
-        "{} {} {}\r\nServer: eventscale/0.1\r\nDate: {}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: {}\r\n",
-        ver,
-        status.code(),
-        status.reason(),
-        date,
-        content_length,
-        if keep_alive { "keep-alive" } else { "close" },
-    );
+    // Rendered by hand: this runs once per reply, and `core::fmt` is the
+    // single most expensive thing the old path did besides the body copy.
+    out.extend_from_slice(ver.as_bytes());
+    out.push(b' ');
+    push_decimal(out, status.code() as u64);
+    out.push(b' ');
+    out.extend_from_slice(status.reason().as_bytes());
+    out.extend_from_slice(b"\r\nServer: eventscale/0.1\r\nDate: ");
+    out.extend_from_slice(date.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: application/octet-stream\r\nContent-Length: ");
+    push_decimal(out, content_length as u64);
+    out.extend_from_slice(b"\r\nConnection: ");
+    out.extend_from_slice(if keep_alive {
+        b"keep-alive".as_slice()
+    } else {
+        b"close".as_slice()
+    });
+    out.extend_from_slice(b"\r\n");
     if let Some(lm) = last_modified {
-        let _ = write!(out, "Last-Modified: {lm}\r\n");
+        out.extend_from_slice(b"Last-Modified: ");
+        out.extend_from_slice(lm.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"\r\n");
     out.len() - before
+}
+
+/// Append the decimal digits of `v` without going through `core::fmt`.
+fn push_decimal(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
 }
 
 /// Parse a response head on the *client* side (the load generator): returns

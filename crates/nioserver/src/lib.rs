@@ -23,12 +23,12 @@
 //! under a fault plan.
 
 use faults::DrainReport;
-use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
+use httpcore::{ContentStore, Method, ParseOutcome, ReplyQueue, RequestParser, Status, Version};
 use obs::{GaugeKind, LiveGauges};
 use parking_lot::Mutex;
 use reactor::{Event, Interest, Selector, Token, Waker};
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -280,6 +280,12 @@ fn acceptor_loop(
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_nonblocking(true);
+                // A send buffer larger than any reply (bodies are capped
+                // well below this) lets the worker hand the kernel a whole
+                // response in one vectored write instead of parking the
+                // connection in the WRITABLE set while the default-sized
+                // buffer drains.
+                let _ = set_sndbuf(&stream, 1 << 19);
                 // Round-robin across workers. A closed channel means that
                 // worker crashed: drop the dead link and re-route to the
                 // survivors instead of taking the whole accept path down.
@@ -320,16 +326,19 @@ fn acceptor_loop(
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
-    /// Pending output (response heads + bodies), front-consumed.
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Staged output: (head, arena-slice) response segments, flushed
+    /// zero-copy via `write_vectored`.
+    out: ReplyQueue,
     /// Close once the output drains (HTTP/1.0 or Connection: close or 400).
     close_after_flush: bool,
+    /// Interest currently registered with the selector — cached so the hot
+    /// path only pays a `reregister` syscall on an actual change.
+    registered: Interest,
 }
 
 impl Conn {
     fn wants_write(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
     }
 
     fn interest(&self) -> Interest {
@@ -349,6 +358,31 @@ impl Conn {
 /// Token 0 is reserved for the waker; connections start at 1.
 const WAKER_TOKEN: Token = Token(0);
 
+/// Hasher for the token-keyed connection map. Tokens are sequential
+/// counters, so a single multiply (Fibonacci hashing) spreads them across
+/// the table; SipHash's keyed rounds are pure overhead on this hot path.
+#[derive(Default)]
+struct TokenHasher(u64);
+
+impl std::hash::Hasher for TokenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-usize keys (unused by the conn map).
+        for &b in bytes {
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3).wrapping_add(b as u64);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type ConnMap = HashMap<usize, Conn, std::hash::BuildHasherDefault<TokenHasher>>;
+
 fn worker_loop(
     cfg: NioConfig,
     rx: crossbeam::channel::Receiver<TcpStream>,
@@ -365,13 +399,15 @@ fn worker_loop(
     selector
         .register(waker.read_fd(), WAKER_TOKEN, Interest::READABLE)
         .expect("register waker");
-    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut conns: ConnMap = ConnMap::default();
     let mut next_token = 0usize;
     let mut events: Vec<Event> = Vec::new();
     let mut read_buf = vec![0u8; 64 * 1024];
     let mut date = httpcore::now_http_date();
     let mut date_refresh = std::time::Instant::now();
     let mut last_ready = 0usize;
+    // Cached copy of the drain deadline (fixed once draining starts).
+    let mut drain_deadline: Option<Instant> = None;
 
     while !ctl.stop.load(Ordering::Relaxed) {
         if take_crash_token(&ctl) {
@@ -402,9 +438,9 @@ fn worker_loop(
                     Conn {
                         stream,
                         parser: RequestParser::new(),
-                        out: Vec::new(),
-                        out_pos: 0,
+                        out: ReplyQueue::new(),
                         close_after_flush: false,
+                        registered: Interest::READABLE,
                     },
                 );
             }
@@ -426,8 +462,10 @@ fn worker_loop(
         gauges.sub(GaugeKind::ReadySetSize, last_ready as u64);
         last_ready = ready;
         let draining = ctl.draining.load(Ordering::Relaxed);
-        let drained_evs: Vec<Event> = std::mem::take(&mut events);
-        for ev in drained_evs {
+        // Drain the event buffer in place (`Event` is `Copy`): the `Vec`
+        // keeps its capacity across iterations instead of being discarded
+        // and regrown from zero every loop.
+        for ev in &events {
             if ev.token == WAKER_TOKEN {
                 waker.drain();
                 continue;
@@ -460,35 +498,43 @@ fn worker_loop(
                 gauges.sub(GaugeKind::OpenConns, 1);
                 gauges.sub(GaugeKind::RegisteredConns, 1);
             } else {
-                let fd = conn.stream.as_raw_fd();
-                let _ = selector.reregister(fd, Token(token), conn.interest());
+                // Only an actual interest change costs a syscall; the
+                // steady read-only request/reply cadence pays none.
+                let want = conn.interest();
+                if want != conn.registered {
+                    let fd = conn.stream.as_raw_fd();
+                    if selector.reregister(fd, Token(token), want).is_ok() {
+                        conn.registered = want;
+                    }
+                }
             }
         }
 
         if draining {
             // Drain sweep: idle connections close now; in-flight ones keep
-            // flushing until done or until the deadline cuts them.
-            let deadline_hit = ctl
-                .drain_deadline
-                .lock()
-                .is_some_and(|d| Instant::now() >= d);
-            let ids: Vec<usize> = conns.keys().copied().collect();
-            for token in ids {
-                let conn = &conns[&token];
-                let idle = conn.drain_idle();
-                if !(idle || deadline_hit) {
-                    continue;
+            // flushing until done or until the deadline cuts them. The
+            // deadline is fixed at drain start, so it is read (under the
+            // mutex) once and cached; each pass costs one `Instant::now()`
+            // and no allocation.
+            if drain_deadline.is_none() {
+                drain_deadline = *ctl.drain_deadline.lock();
+            }
+            let now = Instant::now();
+            let deadline_hit = drain_deadline.is_some_and(|d| now >= d);
+            conns.retain(|_, conn| {
+                if !(conn.drain_idle() || deadline_hit) {
+                    return true;
                 }
                 if conn.wants_write() {
                     ctl.aborted.fetch_add(1, Ordering::SeqCst);
                 } else {
                     ctl.drained.fetch_add(1, Ordering::SeqCst);
                 }
-                let conn = conns.remove(&token).expect("listed above");
                 let _ = selector.deregister(conn.stream.as_raw_fd());
                 gauges.sub(GaugeKind::OpenConns, 1);
                 gauges.sub(GaugeKind::RegisteredConns, 1);
-            }
+                false
+            });
             if conns.is_empty() {
                 break;
             }
@@ -515,6 +561,9 @@ fn handle_readable(
                     match conn.parser.parse() {
                         ParseOutcome::Complete(req) => {
                             serve(conn, cfg, stats, &req, date);
+                            // Return the request's allocations to the
+                            // parser for the next parse on this connection.
+                            conn.parser.recycle(req);
                         }
                         ParseOutcome::Incomplete => break,
                         ParseOutcome::Error(_) => {
@@ -529,6 +578,13 @@ fn handle_readable(
                 if flush_output(conn, stats) {
                     return true;
                 }
+                // A short read means the socket buffer was drained at
+                // syscall time — skip the read that would only confirm
+                // `WouldBlock`. The selector is level-triggered: bytes that
+                // arrive later re-report the fd, so nothing is lost.
+                if n < scratch.len() {
+                    return false;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -540,58 +596,59 @@ fn handle_readable(
 fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Request, date: &str) {
     stats.requests.fetch_add(1, Ordering::Relaxed);
     let keep = req.keep_alive();
+    // Heads render into a recycled buffer; bodies stage as arena handles —
+    // a steady-state connection serves every reply copy- and
+    // allocation-free.
+    let mut head = conn.out.take_head_buf();
     match (req.method, cfg.content.resolve(&req.target)) {
         (Method::Get, Some(id)) => {
             let lm = cfg.content.last_modified(id);
-            if req.header("if-modified-since") == Some(lm.as_str()) {
+            if req.header("if-modified-since") == Some(lm) {
                 httpcore::write_head_full(
-                    &mut conn.out,
+                    &mut head,
                     req.version,
                     Status::NotModified,
                     0,
                     keep,
                     date,
-                    Some(&lm),
+                    Some(lm),
                 );
+                conn.out.push_head(head);
             } else {
-                let body = cfg.content.body(id);
+                let body = cfg.content.body_slice(id);
                 httpcore::write_head_full(
-                    &mut conn.out,
+                    &mut head,
                     req.version,
                     Status::Ok,
                     body.len(),
                     keep,
                     date,
-                    Some(&lm),
+                    Some(lm),
                 );
-                conn.out.extend_from_slice(body);
+                conn.out.push_head(head);
+                conn.out.push_body(body);
             }
         }
         (Method::Head, Some(id)) => {
             let lm = cfg.content.last_modified(id);
             let len = cfg.content.size_of(id) as usize;
-            httpcore::write_head_full(
-                &mut conn.out,
-                req.version,
-                Status::Ok,
-                len,
-                keep,
-                date,
-                Some(&lm),
-            );
+            httpcore::write_head_full(&mut head, req.version, Status::Ok, len, keep, date, Some(lm));
+            conn.out.push_head(head);
         }
         (Method::Other, _) => {
             httpcore::write_head(
-                &mut conn.out,
+                &mut head,
                 req.version,
                 Status::NotImplemented,
                 0,
                 keep,
                 date,
             );
+            conn.out.push_head(head);
         }
         (_, None) => {
-            httpcore::write_head(&mut conn.out, req.version, Status::NotFound, 0, keep, date);
+            httpcore::write_head(&mut head, req.version, Status::NotFound, 0, keep, date);
+            conn.out.push_head(head);
         }
     }
     if !keep {
@@ -600,17 +657,18 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
 }
 
 fn respond_status(conn: &mut Conn, status: Status, date: &str) {
-    httpcore::write_head(&mut conn.out, Version::Http11, status, 0, false, date);
+    let mut head = conn.out.take_head_buf();
+    httpcore::write_head(&mut head, Version::Http11, status, 0, false, date);
+    conn.out.push_head(head);
 }
 
-/// Non-blocking write of pending output. Returns true when the connection
-/// must be torn down (write error).
+/// Non-blocking vectored flush of the staged output. Returns true when the
+/// connection must be torn down (write error).
 fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
-    while conn.out_pos < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
+    while !conn.out.is_empty() {
+        match conn.out.write_to(&mut conn.stream) {
             Ok(0) => return true,
             Ok(n) => {
-                conn.out_pos += n;
                 stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
@@ -618,10 +676,37 @@ fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
             Err(_) => return true,
         }
     }
-    // Fully drained: reclaim the buffer.
-    conn.out.clear();
-    conn.out_pos = 0;
     false
+}
+
+/// SO_SNDBUF: size the kernel send buffer (the kernel doubles the value
+/// for bookkeeping and clamps to `net.core.wmem_max`).
+fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    extern "C" {
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    let r = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &bytes as *const i32 as *const _,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if r < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
 }
 
 /// SO_LINGER(0): make `close()` send RST instead of FIN, so a shed client
@@ -668,6 +753,7 @@ mod tests {
     use super::*;
     use desim::Rng;
     use faults::FaultTarget;
+    use std::io::Write;
     use workload::{FileSet, SurgeConfig};
 
     fn test_content() -> Arc<ContentStore> {

@@ -356,6 +356,10 @@ fn serve_connection(
     in_flight: &AtomicBool,
 ) -> bool {
     let _ = stream.set_nodelay(true);
+    // Same send-buffer sizing as the event server: a whole reply fits in
+    // one blocking vectored write, so the thread overlaps the kernel's
+    // drain with reading the next request.
+    let _ = set_sndbuf(&stream, 1 << 19);
     // Blocking reads with the idle timeout as the read timeout — exactly the
     // Apache `Timeout` directive's mechanism. Bounded by 1 s slices so the
     // thread also notices server shutdown.
@@ -365,6 +369,8 @@ fn serve_connection(
     let _ = stream.set_read_timeout(Some(slice));
     let mut parser = RequestParser::new();
     let mut buf = vec![0u8; 64 * 1024];
+    // Head buffer reused across every response on this connection.
+    let mut head = Vec::new();
     let date = httpcore::now_http_date();
     loop {
         if ctl.stop.load(Ordering::Relaxed) {
@@ -380,8 +386,11 @@ fn serve_connection(
                         ParseOutcome::Complete(req) => {
                             let keep = req.keep_alive();
                             in_flight.store(true, Ordering::SeqCst);
-                            let sent = respond(cfg, &mut stream, stats, &req, &date);
+                            let sent = respond(cfg, &mut stream, stats, &req, &date, &mut head);
                             in_flight.store(false, Ordering::SeqCst);
+                            // Hand the request's allocations back for the
+                            // next parse on this connection.
+                            parser.recycle(req);
                             if !sent {
                                 return true; // write failed: response lost
                             }
@@ -436,63 +445,122 @@ fn serve_connection(
 
 /// Write the response for one request with *blocking* I/O: the thread does
 /// not return until the kernel accepted every byte.
+///
+/// Zero-copy reply path: the head renders into the caller's reused buffer
+/// and the body stays a borrowed arena slice — the pair goes to the kernel
+/// via [`write_two`] (`writev`) instead of being concatenated into a fresh
+/// allocation per response.
 fn respond(
     cfg: &PoolConfig,
     stream: &mut TcpStream,
     stats: &PoolStats,
     req: &httpcore::Request,
     date: &str,
+    head: &mut Vec<u8>,
 ) -> bool {
     stats.requests.fetch_add(1, Ordering::Relaxed);
     let keep = req.keep_alive();
-    let mut out = Vec::new();
+    head.clear();
+    let mut body: &[u8] = &[];
     match (req.method, cfg.content.resolve(&req.target)) {
         (Method::Get, Some(id)) => {
             let lm = cfg.content.last_modified(id);
-            if req.header("if-modified-since") == Some(lm.as_str()) {
+            if req.header("if-modified-since") == Some(lm) {
                 httpcore::write_head_full(
-                    &mut out,
+                    head,
                     req.version,
                     Status::NotModified,
                     0,
                     keep,
                     date,
-                    Some(&lm),
+                    Some(lm),
                 );
             } else {
-                let body = cfg.content.body(id);
+                body = cfg.content.body(id);
                 httpcore::write_head_full(
-                    &mut out,
+                    head,
                     req.version,
                     Status::Ok,
                     body.len(),
                     keep,
                     date,
-                    Some(&lm),
+                    Some(lm),
                 );
-                out.extend_from_slice(body);
             }
         }
         (Method::Head, Some(id)) => {
             let lm = cfg.content.last_modified(id);
             let len = cfg.content.size_of(id) as usize;
-            httpcore::write_head_full(&mut out, req.version, Status::Ok, len, keep, date, Some(&lm));
+            httpcore::write_head_full(head, req.version, Status::Ok, len, keep, date, Some(lm));
         }
         (Method::Other, _) => {
-            httpcore::write_head(&mut out, req.version, Status::NotImplemented, 0, keep, date);
+            httpcore::write_head(head, req.version, Status::NotImplemented, 0, keep, date);
         }
         (_, None) => {
-            httpcore::write_head(&mut out, req.version, Status::NotFound, 0, keep, date);
+            httpcore::write_head(head, req.version, Status::NotFound, 0, keep, date);
         }
     }
-    match stream.write_all(&out) {
+    match write_two(stream, head, body) {
         Ok(()) => {
             stats
                 .bytes_sent
-                .fetch_add(out.len() as u64, Ordering::Relaxed);
+                .fetch_add((head.len() + body.len()) as u64, Ordering::Relaxed);
             true
         }
         Err(_) => false,
+    }
+}
+
+/// Blocking vectored write of two segments with a cursor that spans both —
+/// `write_all` for a (head, body) pair without concatenating them.
+fn write_two(stream: &mut TcpStream, head: &[u8], body: &[u8]) -> io::Result<()> {
+    use std::io::{IoSlice, Write};
+    let total = head.len() + body.len();
+    let mut pos = 0usize;
+    while pos < total {
+        let iov = if pos < head.len() {
+            [IoSlice::new(&head[pos..]), IoSlice::new(body)]
+        } else {
+            [IoSlice::new(&body[pos - head.len()..]), IoSlice::new(&[])]
+        };
+        match stream.write_vectored(&iov) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// SO_SNDBUF: size the kernel send buffer (the kernel doubles the value
+/// for bookkeeping and clamps to `net.core.wmem_max`).
+fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    let r = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &bytes as *const i32 as *const _,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if r < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
     }
 }
 

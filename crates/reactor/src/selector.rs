@@ -61,7 +61,10 @@ pub trait Selector: Send {
 fn timeout_ms(timeout: Option<Duration>) -> i32 {
     match timeout {
         None => -1,
-        Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        // Round *up*: `as_millis()` truncates, which would turn a
+        // sub-millisecond wait (e.g. 100 µs) into a 0 ms timeout — a
+        // busy-spin poll instead of a blocking wait.
+        Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
     }
 }
 
@@ -301,6 +304,30 @@ mod tests {
                 .expect("select");
             assert_eq!(n, 0);
             assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn submillisecond_timeout_blocks_instead_of_spinning() {
+        // Regression: `as_millis()` truncation turned a 100 µs timeout into
+        // a 0 ms poll, so an idle select degenerated to a busy spin. The
+        // timeout must round up and actually block.
+        for mut s in backends() {
+            let start = std::time::Instant::now();
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                let n = s
+                    .select(&mut out, Some(Duration::from_micros(100)))
+                    .expect("select");
+                assert_eq!(n, 0);
+            }
+            // Rounded up to 1 ms each, 20 idle selects must take ≥ ~20 ms;
+            // the truncated-to-zero spin finished in microseconds.
+            assert!(
+                start.elapsed() >= Duration::from_millis(10),
+                "20 sub-millisecond selects returned in {:?} — busy spin",
+                start.elapsed()
+            );
         }
     }
 
