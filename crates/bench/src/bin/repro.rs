@@ -17,6 +17,10 @@
 //!   repro bench --smoke       # short re-run: validate the committed
 //!                             # BENCH_live.json schema and fail on a >20%
 //!                             # throughput regression vs that baseline
+//!   repro resilience          # adversarial clients (slow-loris, byte-drip,
+//!                             # never-reads, idle floods, fd storms) vs
+//!                             # both live servers + the Fig-3 idle-timeout
+//!                             # policy sweep (--smoke: CI-sized windows)
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -35,6 +39,7 @@ fn main() {
     let mut observe_mode = false;
     let mut chaos_mode = false;
     let mut bench_mode = false;
+    let mut resilience_mode = false;
     let mut smoke = false;
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
@@ -46,6 +51,7 @@ fn main() {
             "observe" => observe_mode = true,
             "chaos" => chaos_mode = true,
             "bench" => bench_mode = true,
+            "resilience" => resilience_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -71,7 +77,7 @@ fn main() {
             "list" => {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
-                println!("robustness:       sensitivity chaos");
+                println!("robustness:       sensitivity chaos resilience");
                 println!("performance:      bench");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
                 println!("extensions:       {}", EXTENSION_IDS.join(" "));
@@ -131,6 +137,24 @@ fn main() {
             std::fs::write(&path, &doc).expect("write bench json");
             println!("wrote {path}");
             println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        }
+        return;
+    }
+    if resilience_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_resilience(smoke);
+        println!("{}", experiments::render_resilience(&report));
+        println!("{}", render_checks(&report.checks));
+        let failed = report.checks.iter().filter(|c| !c.pass).count();
+        println!(
+            "  ({} attack runs + {} sweep rows, {:.1}s)\n",
+            report.runs.len(),
+            report.sweep.len(),
+            start.elapsed().as_secs_f64()
+        );
+        if failed > 0 {
+            eprintln!("{failed} resilience check(s) FAILED");
+            std::process::exit(1);
         }
         return;
     }

@@ -8,7 +8,9 @@
 //! * [`tables`] — the §4.1/§5.1 best-configuration determinations;
 //! * [`sensitivity`] — do the conclusions survive cost perturbations?
 //! * [`perfbench`] — the live loopback bench behind `repro bench` and its
-//!   `BENCH_live.json` regression guard.
+//!   `BENCH_live.json` regression guard;
+//! * [`resilience`] — the adversarial-client survival harness and Fig-3
+//!   lifecycle-policy sweep behind `repro resilience`.
 
 pub mod catalog;
 pub mod chaos;
@@ -16,12 +18,16 @@ pub mod checks;
 pub mod figure;
 pub mod observe;
 pub mod perfbench;
+pub mod resilience;
 pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
 
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
+pub use resilience::{
+    render_resilience, run_resilience, PolicyRun, ResilienceReport, ResilienceRun, GOODPUT_FLOOR,
+};
 pub use perfbench::{
     bench_to_json, parse_bench_json, regression_checks, render_bench, run_bench, BenchReport,
     BenchResult, BENCH_BASELINE_PATH, BENCH_SCHEMA, REGRESSION_TOLERANCE,

@@ -160,6 +160,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .expect("start nio server");
@@ -178,7 +179,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
         // hosts (the bench measures the reply path, not queueing).
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: BENCH_CLIENTS,
-            idle_timeout: Some(Duration::from_secs(15)),
+            lifecycle: httpcore::LifecyclePolicy::httpd2(),
             shed_watermark: None,
             content: Arc::clone(&content),
         })

@@ -83,10 +83,15 @@ pub fn run_plan<T: FaultTarget>(plan: &FaultPlan, target: &T, time_scale: f64) -
                     }
                 }
             }
+            // Network shaping has no loopback analogue, and the adversarial
+            // client kinds are driven from the client side live (see
+            // `loadgen::adversary`), not injected into the server.
             FaultKind::LinkOutage { .. }
             | FaultKind::LinkDegrade { .. }
             | FaultKind::LatencyJitter { .. }
-            | FaultKind::SlowLoris { .. } => {
+            | FaultKind::SlowLoris { .. }
+            | FaultKind::NeverReads { .. }
+            | FaultKind::FdStorm { .. } => {
                 if is_start {
                     outcome.skipped += 1;
                 }

@@ -27,6 +27,16 @@ pub enum FaultKind {
     /// bytes so slowly that each request occupies server-side resources for
     /// seconds before it parses.
     SlowLoris { clients: usize },
+    /// The first `clients` clients stop draining replies: every reply bound
+    /// for them wedges in the server's send path (and, for the threaded
+    /// server, wedges the thread bound to the connection) until the fault
+    /// clears.
+    NeverReads { clients: usize },
+    /// A connect storm exhausts the server's fd headroom: `sockets` raw
+    /// connects slam the accept path at onset and every SYN arriving during
+    /// the window is answered with an explicit refusal (the fd-reserve
+    /// defense) instead of an accept.
+    FdStorm { sockets: usize },
 }
 
 impl FaultKind {
@@ -39,6 +49,8 @@ impl FaultKind {
             FaultKind::WorkerCrash { .. } => "worker-crash",
             FaultKind::ServerStall => "server-stall",
             FaultKind::SlowLoris { .. } => "slow-loris",
+            FaultKind::NeverReads { .. } => "never-reads",
+            FaultKind::FdStorm { .. } => "fd-storm",
         }
     }
 
@@ -76,13 +88,15 @@ pub struct FaultPlan {
 }
 
 /// Names in the built-in catalog, in the order `repro chaos` runs them.
-pub const PLAN_NAMES: [&str; 6] = [
+pub const PLAN_NAMES: [&str; 8] = [
     "outage",
     "brownout",
     "jitter",
     "worker-crash",
     "stall",
     "slow-loris",
+    "never-reads",
+    "fd-storm",
 ];
 
 impl FaultPlan {
@@ -130,6 +144,8 @@ impl FaultPlan {
             )],
             "stall" => vec![ev(12, 6, FaultKind::ServerStall)],
             "slow-loris" => vec![ev(12, 10, FaultKind::SlowLoris { clients: 40 })],
+            "never-reads" => vec![ev(12, 10, FaultKind::NeverReads { clients: 30 })],
+            "fd-storm" => vec![ev(12, 10, FaultKind::FdStorm { sockets: 512 })],
             _ => return None,
         };
         Some(FaultPlan::new(name, events))
@@ -172,6 +188,12 @@ impl FaultPlan {
                     if !(fraction > 0.0 && fraction <= 1.0) =>
                 {
                     return Err(format!("event {i}: crash fraction {fraction} not in (0, 1]"));
+                }
+                FaultKind::SlowLoris { clients: 0 } | FaultKind::NeverReads { clients: 0 } => {
+                    return Err(format!("event {i}: zero afflicted clients is a no-op"));
+                }
+                FaultKind::FdStorm { sockets: 0 } => {
+                    return Err(format!("event {i}: zero storm sockets is a no-op"));
                 }
                 _ => {}
             }

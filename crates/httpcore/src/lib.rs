@@ -8,17 +8,22 @@
 //! * [`reply`] — staged zero-copy reply queue (head + arena-slice segments
 //!   flushed with `write_vectored`);
 //! * [`content`] — the SURGE content store served by the real servers;
-//! * [`date`] — allocation-light IMF-fixdate formatting.
+//! * [`date`] — allocation-light IMF-fixdate formatting;
+//! * [`policy`] — the connection-lifecycle policy (timeouts + accept-path
+//!   defenses) both live servers accept, making the Fig-3 asymmetry a
+//!   config knob instead of an architectural constant.
 
 pub mod buffer;
 pub mod content;
 pub mod date;
+pub mod policy;
 pub mod reply;
 pub mod request;
 pub mod response;
 
 pub use buffer::ReadBuf;
 pub use content::{ArenaSlice, ContentStore};
+pub use policy::LifecyclePolicy;
 pub use reply::ReplyQueue;
 pub use date::{http_date, now_http_date};
 pub use request::{Method, ParseError, ParseOutcome, ParserLimits, Request, RequestParser, Version};

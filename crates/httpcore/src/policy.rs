@@ -1,0 +1,115 @@
+//! Connection-lifecycle policy — the knobs both live servers share.
+//!
+//! The paper's Fig 3 asymmetry (httpd2's 15 s idle timeout streams
+//! connection resets; nio never times a client out and reports zero errors)
+//! is a *policy* difference, not an architectural necessity. Expressing it
+//! as one config struct both servers accept makes the asymmetry falsifiable
+//! from a single codebase: `idle_timeout: None` reproduces the paper's nio,
+//! `Some(15 s)` reproduces httpd2's reset stream from the same binary.
+//!
+//! The defense knobs (`fd_reserve`, `max_conns`) harden the accept path
+//! against resource exhaustion; the deadline knobs (`header_timeout`,
+//! `write_stall_timeout`) bound how long a degenerate peer — a slow-loris
+//! header dribbler, a client that never drains its socket — can hold a
+//! connection. Event-driven servers must carry this bookkeeping themselves:
+//! no blocked thread does it for them.
+
+use std::time::Duration;
+
+/// Per-connection lifecycle policy plus accept-path defenses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecyclePolicy {
+    /// Close keep-alive connections idle this long. `None` never times a
+    /// client out (the paper's nio); `Some(15 s)` is httpd2's policy. The
+    /// close is abortive (RST), matching Apache's observable behaviour in
+    /// Fig 3.
+    pub idle_timeout: Option<Duration>,
+    /// Bound on delivering a complete request head, measured from the first
+    /// byte of the head. Expiry is answered with `408 Request Timeout` —
+    /// the anti-slow-loris deadline.
+    pub header_timeout: Option<Duration>,
+    /// Bound on a client that stops draining its socket mid-reply (no write
+    /// progress for this long while output is pending). Expiry is an
+    /// abortive close.
+    pub write_stall_timeout: Option<Duration>,
+    /// Refuse new connections once accepted fds climb within this many fds
+    /// of `RLIMIT_NOFILE`, keeping headroom for the server's own plumbing
+    /// (selectors, wakers, content store). 0 disables the reserve.
+    pub fd_reserve: u64,
+    /// Admission cap: refuse new connections (with `503 Connection: close`)
+    /// while at least this many are open. Coarser than the shed watermark —
+    /// this is the hard ceiling, not the load-shedding threshold.
+    pub max_conns: Option<u64>,
+}
+
+impl Default for LifecyclePolicy {
+    /// Paper-faithful defaults: no timeouts anywhere (nio's zero-error
+    /// Fig-3 curve), no admission cap, and a modest fd reserve — the one
+    /// defense that costs nothing until the process is nearly out of fds.
+    fn default() -> Self {
+        LifecyclePolicy {
+            idle_timeout: None,
+            header_timeout: None,
+            write_stall_timeout: None,
+            fd_reserve: 64,
+            max_conns: None,
+        }
+    }
+}
+
+impl LifecyclePolicy {
+    /// httpd2's observable policy in the paper: 15 s keep-alive timeout.
+    pub fn httpd2() -> Self {
+        LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(15)),
+            ..LifecyclePolicy::default()
+        }
+    }
+
+    /// A hardened profile for adversarial-client experiments: every
+    /// deadline armed, admission capped.
+    pub fn hardened(idle: Duration, header: Duration, write_stall: Duration) -> Self {
+        LifecyclePolicy {
+            idle_timeout: Some(idle),
+            header_timeout: Some(header),
+            write_stall_timeout: Some(write_stall),
+            fd_reserve: 64,
+            max_conns: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_nio() {
+        let p = LifecyclePolicy::default();
+        assert_eq!(p.idle_timeout, None);
+        assert_eq!(p.header_timeout, None);
+        assert_eq!(p.write_stall_timeout, None);
+        assert_eq!(p.max_conns, None);
+        assert!(p.fd_reserve > 0, "fd reserve on by default");
+    }
+
+    #[test]
+    fn httpd2_profile_matches_paper() {
+        assert_eq!(
+            LifecyclePolicy::httpd2().idle_timeout,
+            Some(Duration::from_secs(15))
+        );
+    }
+
+    #[test]
+    fn hardened_arms_every_deadline() {
+        let p = LifecyclePolicy::hardened(
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+            Duration::from_secs(3),
+        );
+        assert!(p.idle_timeout.is_some());
+        assert!(p.header_timeout.is_some());
+        assert!(p.write_stall_timeout.is_some());
+    }
+}

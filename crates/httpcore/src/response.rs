@@ -14,7 +14,9 @@ pub enum Status {
     Ok,
     NotModified,
     BadRequest,
+    RequestTimeout,
     NotFound,
+    RequestHeaderFieldsTooLarge,
     NotImplemented,
     ServiceUnavailable,
 }
@@ -25,7 +27,9 @@ impl Status {
             Status::Ok => 200,
             Status::NotModified => 304,
             Status::BadRequest => 400,
+            Status::RequestTimeout => 408,
             Status::NotFound => 404,
+            Status::RequestHeaderFieldsTooLarge => 431,
             Status::NotImplemented => 501,
             Status::ServiceUnavailable => 503,
         }
@@ -36,7 +40,9 @@ impl Status {
             Status::Ok => "OK",
             Status::NotModified => "Not Modified",
             Status::BadRequest => "Bad Request",
+            Status::RequestTimeout => "Request Timeout",
             Status::NotFound => "Not Found",
+            Status::RequestHeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::NotImplemented => "Not Implemented",
             Status::ServiceUnavailable => "Service Unavailable",
         }
@@ -227,6 +233,13 @@ mod tests {
         assert_eq!(Status::Ok.code(), 200);
         assert_eq!(Status::ServiceUnavailable.code(), 503);
         assert_eq!(Status::NotImplemented.reason(), "Not Implemented");
+        assert_eq!(Status::RequestTimeout.code(), 408);
+        assert_eq!(Status::RequestTimeout.reason(), "Request Timeout");
+        assert_eq!(Status::RequestHeaderFieldsTooLarge.code(), 431);
+        assert_eq!(
+            Status::RequestHeaderFieldsTooLarge.reason(),
+            "Request Header Fields Too Large"
+        );
     }
 
     #[test]

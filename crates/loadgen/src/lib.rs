@@ -11,6 +11,8 @@
 //! Think times can be scaled down (`think_scale`) so a test exercises the
 //! full session machinery in hundreds of milliseconds.
 
+pub mod adversary;
+
 use desim::Rng;
 use metrics::{ClientError, ErrorCounters, Histogram};
 use obs::{EndReason, Obs, ObsConfig, Span, Stage};
@@ -544,6 +546,7 @@ mod tests {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             content,
         })
         .unwrap();
@@ -562,7 +565,7 @@ mod tests {
         let content = Arc::new(ContentStore::from_fileset(&files));
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 8,
-            idle_timeout: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             shed_watermark: None,
             content,
         })
@@ -582,7 +585,10 @@ mod tests {
         let content = Arc::new(ContentStore::from_fileset(&files));
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 8,
-            idle_timeout: Some(Duration::from_millis(300)),
+            lifecycle: httpcore::LifecyclePolicy {
+                idle_timeout: Some(Duration::from_millis(300)),
+                ..httpcore::LifecyclePolicy::default()
+            },
             shed_watermark: None,
             content,
         })
@@ -615,6 +621,7 @@ mod tests {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             content,
         })
         .unwrap();
@@ -719,7 +726,7 @@ mod tests {
         let content = Arc::new(ContentStore::from_fileset(&files));
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 4,
-            idle_timeout: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             shed_watermark: Some(0),
             content,
         })

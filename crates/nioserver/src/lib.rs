@@ -10,23 +10,35 @@
 //! — the "sharing the network resource in a more fair way between clients"
 //! behaviour the paper measures.
 //!
-//! The server never applies an inactivity timeout to its clients (it has no
-//! thread bound to them to reclaim), which is why it produces zero
-//! connection-reset errors in figure 3(b).
+//! By default the server never applies an inactivity timeout to its clients
+//! (it has no thread bound to them to reclaim), which is why it produces
+//! zero connection-reset errors in figure 3(b). That is *policy*, not
+//! architecture: [`LifecyclePolicy`] can arm a keep-alive idle timeout
+//! (reproducing httpd2's reset stream from this same binary), a header-read
+//! deadline answered with `408 Request Timeout` (anti-slow-loris), and a
+//! write-stall deadline for clients that never drain their socket — all
+//! driven by one wall-clock [`reactor::DeadlineWheel`] per worker.
 //!
 //! Robustness layer: the acceptor sheds load above `shed_watermark` open
-//! connections and survives worker crashes by re-routing to the remaining
-//! workers; [`NioServer::shutdown_graceful`] drains — idle connections
-//! close immediately, in-flight responses finish, and whatever is still
-//! unflushed at the deadline is cut and reported as aborted. The
+//! connections, refuses with `503 Connection: close` above the hard
+//! `max_conns` cap, keeps an fd headroom reserve (EMFILE/ENFILE answered
+//! with backoff instead of a spinning or dying accept loop), and survives
+//! worker crashes by re-routing to the remaining workers;
+//! [`NioServer::shutdown_graceful`] drains — idle connections close
+//! immediately, in-flight responses finish, and whatever is still unflushed
+//! at the deadline is cut and reported as aborted. The
 //! [`faults::FaultTarget`] hooks stall accepts and crash/restart workers
-//! under a fault plan.
+//! under a fault plan. Every deliberate teardown is recorded in a typed
+//! [`obs::LiveEnds`] tally.
 
 use faults::DrainReport;
-use httpcore::{ContentStore, Method, ParseOutcome, ReplyQueue, RequestParser, Status, Version};
-use obs::{GaugeKind, LiveGauges};
+use httpcore::{
+    ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, ReplyQueue, RequestParser,
+    Status, Version,
+};
+use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges};
 use parking_lot::Mutex;
-use reactor::{Event, Interest, Selector, Token, Waker};
+use reactor::{DeadlineWheel, Event, Interest, Selector, Token, Waker};
 use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,6 +65,9 @@ pub struct NioConfig {
     /// Load shedding: refuse new connections (abortive close on accept)
     /// while at least this many connections are open. None = admit all.
     pub shed_watermark: Option<u64>,
+    /// Connection-lifecycle policy: idle/header/write-stall deadlines plus
+    /// accept-path defenses. The default is the paper's nio (no timeouts).
+    pub lifecycle: LifecyclePolicy,
     /// Content to serve.
     pub content: Arc<ContentStore>,
 }
@@ -64,8 +79,13 @@ pub struct NioStats {
     pub requests: AtomicU64,
     pub bytes_sent: AtomicU64,
     pub parse_errors: AtomicU64,
-    /// Connections refused by the load-shedding watermark.
+    /// Connections refused by the load-shedding watermark, the `max_conns`
+    /// cap, or the fd reserve.
     pub refused: AtomicU64,
+    /// Transient `accept()` errors survived (EMFILE/ENFILE/ECONNABORTED/
+    /// EINTR and friends) — a healthy accept loop under attack shows these
+    /// climbing while `accepted` keeps climbing too.
+    pub accept_errors: AtomicU64,
     /// Worker threads currently running (drops when a fault crashes one).
     pub alive_workers: AtomicU64,
     /// Fault injections consumed: workers that crashed on request.
@@ -99,6 +119,7 @@ pub struct NioServer {
     ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
+    ends: Arc<LiveEnds>,
     links: Arc<Mutex<Vec<WorkerLink>>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -116,6 +137,7 @@ impl NioServer {
             ctl: Arc::new(NioCtl::default()),
             stats: Arc::new(NioStats::default()),
             gauges: Arc::new(LiveGauges::new()),
+            ends: Arc::new(LiveEnds::new()),
             links: Arc::new(Mutex::new(Vec::new())),
             threads: Mutex::new(Vec::new()),
         };
@@ -125,12 +147,13 @@ impl NioServer {
         let ctl = Arc::clone(&server.ctl);
         let stats = Arc::clone(&server.stats);
         let gauges = Arc::clone(&server.gauges);
+        let ends = Arc::clone(&server.ends);
         let links = Arc::clone(&server.links);
         let cfg = config;
         server.threads.lock().push(
             std::thread::Builder::new()
                 .name("nio-acceptor".to_string())
-                .spawn(move || acceptor_loop(cfg, listener, links, ctl, stats, gauges))
+                .spawn(move || acceptor_loop(cfg, listener, links, ctl, stats, gauges, ends))
                 .expect("spawn acceptor"),
         );
         Ok(server)
@@ -147,10 +170,11 @@ impl NioServer {
         let ctl = Arc::clone(&self.ctl);
         let stats = Arc::clone(&self.stats);
         let gauges = Arc::clone(&self.gauges);
+        let ends = Arc::clone(&self.ends);
         let cfg = self.config.clone();
         let handle = std::thread::Builder::new()
             .name(format!("nio-worker-{w}"))
-            .spawn(move || worker_loop(cfg, rx, waker, ctl, stats, gauges))?;
+            .spawn(move || worker_loop(cfg, rx, waker, ctl, stats, gauges, ends))?;
         self.threads.lock().push(handle);
         Ok(())
     }
@@ -170,6 +194,12 @@ impl NioServer {
     /// collect a periodic [`obs::GaugeLog`] while the server runs.
     pub fn gauges(&self) -> Arc<LiveGauges> {
         Arc::clone(&self.gauges)
+    }
+
+    /// Typed connection-termination tally (idle/header/write-stall
+    /// timeouts, refusals, fd-reserve refusals, parse-limit closes).
+    pub fn ends(&self) -> Arc<LiveEnds> {
+        Arc::clone(&self.ends)
     }
 
     fn wake_workers(&self) {
@@ -256,8 +286,14 @@ fn acceptor_loop(
     ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
+    ends: Arc<LiveEnds>,
 ) {
     let mut next = 0usize;
+    let fd_limit = rlimit_nofile();
+    // EMFILE/ENFILE backoff: start at 1 ms, double up to 100 ms. A fixed
+    // 1 ms sleep under fd exhaustion is a busy loop that starves the very
+    // teardowns that would free fds.
+    let mut exhaustion_backoff = Duration::from_millis(1);
     while !ctl.stop.load(Ordering::Relaxed) && !ctl.draining.load(Ordering::Relaxed) {
         // Server-stall fault window: the accept path freezes; SYNs queue in
         // the kernel backlog exactly as during a GC pause.
@@ -267,13 +303,35 @@ fn acceptor_loop(
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let shed = cfg
-                    .shed_watermark
-                    .is_some_and(|w| gauges.get(GaugeKind::OpenConns) >= w);
+                exhaustion_backoff = Duration::from_millis(1);
+                // Fd headroom reserve: the accepted fd number tells us how
+                // close the process is to RLIMIT_NOFILE (fds are allocated
+                // lowest-free). Inside the reserve, refuse abortively —
+                // keeping this connection could starve teardown plumbing.
+                if cfg.lifecycle.fd_reserve > 0
+                    && stream.as_raw_fd() as u64 + cfg.lifecycle.fd_reserve >= fd_limit
+                {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::FdReserve);
+                    let _ = set_linger_zero(&stream);
+                    continue;
+                }
+                // Hard admission cap: refuse politely with a `503
+                // Connection: close` so well-behaved clients see an HTTP
+                // answer, not a silent drop.
+                let open = gauges.get(GaugeKind::OpenConns);
+                if cfg.lifecycle.max_conns.is_some_and(|cap| open >= cap) {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::Refused);
+                    respond_unavailable(&stream);
+                    continue;
+                }
+                let shed = cfg.shed_watermark.is_some_and(|w| open >= w);
                 if shed {
                     // Admission control: abortive close so the client
                     // observes the refusal immediately.
                     stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::Refused);
                     let _ = set_linger_zero(&stream);
                     continue;
                 }
@@ -315,11 +373,77 @@ fn acceptor_loop(
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => match e.raw_os_error() {
+                // EINTR / ECONNABORTED: a signal or a peer that hung up
+                // between SYN and accept — retry immediately, nothing is
+                // wrong with the listener.
+                Some(EINTR) | Some(ECONNABORTED) => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                // EMFILE / ENFILE: fd exhaustion. Pause-and-retry with
+                // exponential backoff — teardowns elsewhere will free fds;
+                // exiting here would silently kill the whole accept path.
+                Some(EMFILE) | Some(ENFILE) => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::FdReserve);
+                    std::thread::sleep(exhaustion_backoff);
+                    exhaustion_backoff =
+                        (exhaustion_backoff * 2).min(Duration::from_millis(100));
+                }
+                _ => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            },
         }
     }
     // The listener drops here: during a drain, new connection attempts are
     // refused by the kernel from this point on.
+}
+
+const EINTR: i32 = 4;
+const EMFILE: i32 = 24;
+const ENFILE: i32 = 23;
+const ECONNABORTED: i32 = 103;
+
+/// Best-effort `503 Service Unavailable, Connection: close` on a refused
+/// connection. The stream is still blocking here and the head is far
+/// smaller than any socket buffer, so the write cannot stall the acceptor.
+fn respond_unavailable(stream: &TcpStream) {
+    use std::io::Write;
+    let mut head = Vec::with_capacity(160);
+    let date = httpcore::now_http_date();
+    httpcore::write_head(
+        &mut head,
+        Version::Http11,
+        Status::ServiceUnavailable,
+        0,
+        false,
+        &date,
+    );
+    let mut w = stream;
+    let _ = w.write_all(&head);
+}
+
+/// Current `RLIMIT_NOFILE` soft limit (u64::MAX when the query fails, which
+/// effectively disables the reserve rather than refusing everything).
+fn rlimit_nofile() -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    let r = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+    if r == 0 {
+        lim.cur
+    } else {
+        u64::MAX
+    }
 }
 
 /// Per-connection worker-side state.
@@ -334,6 +458,25 @@ struct Conn {
     /// Interest currently registered with the selector — cached so the hot
     /// path only pays a `reregister` syscall on an actual change.
     registered: Interest,
+    /// Last observed progress (read bytes or write drain), ns since the
+    /// worker epoch. The idle deadline slides from here.
+    last_activity_ns: u64,
+    /// Last observed *write* progress (or output first becoming pending),
+    /// ns since the worker epoch. The write-stall deadline slides from
+    /// here, never from reads — a peer that keeps pipelining requests
+    /// while refusing to drain replies must not refresh it.
+    last_write_progress_ns: u64,
+    /// Total bytes ever flushed to this socket; compared across a wakeup
+    /// to detect write progress for the write-stall clock.
+    bytes_flushed: u64,
+    /// When the first byte of the current request head arrived (0 = no
+    /// partial head pending). The header deadline is absolute from here —
+    /// a slow-loris dribble must NOT slide it.
+    head_start_ns: u64,
+    /// Earliest wheel entry armed for this connection (`u64::MAX` = none).
+    /// Wheel entries are never cancelled; a popped entry re-checks the
+    /// connection's real deadline and re-arms or expires accordingly.
+    armed_until: u64,
 }
 
 impl Conn {
@@ -352,6 +495,44 @@ impl Conn {
     /// Nothing owed and nothing half-received: safe to drain-close cleanly.
     fn drain_idle(&self) -> bool {
         !self.wants_write() && self.parser.buffered() == 0
+    }
+
+    /// The connection's current lifecycle deadline under `policy`, given
+    /// its state: write-stall while output is pending, header deadline
+    /// while a partial head is buffered, idle otherwise. `None` when the
+    /// applicable policy knob is off.
+    fn next_due(&self, policy: &LifecyclePolicy) -> Option<(u64, EndCause)> {
+        let ns = |d: Duration| d.as_nanos() as u64;
+        if self.wants_write() {
+            policy
+                .write_stall_timeout
+                .map(|d| (self.last_write_progress_ns + ns(d), EndCause::WriteStall))
+        } else if self.parser.buffered() > 0 {
+            policy
+                .header_timeout
+                .map(|d| (self.head_start_ns + ns(d), EndCause::HeaderTimeout))
+        } else {
+            policy
+                .idle_timeout
+                .map(|d| (self.last_activity_ns + ns(d), EndCause::IdleTimeout))
+        }
+    }
+}
+
+/// Arm (or tighten) the wheel entry for `token` to the connection's current
+/// deadline. Entries are lazy: an in-flight entry that fires early simply
+/// re-checks and re-arms, so only a *tighter* deadline needs a new entry.
+fn rearm_deadline(
+    wheel: &mut DeadlineWheel<usize>,
+    conn: &mut Conn,
+    token: usize,
+    policy: &LifecyclePolicy,
+) {
+    if let Some((due, _)) = conn.next_due(policy) {
+        if due < conn.armed_until {
+            wheel.schedule(due, token);
+            conn.armed_until = due;
+        }
     }
 }
 
@@ -390,6 +571,7 @@ fn worker_loop(
     ctl: Arc<NioCtl>,
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
+    ends: Arc<LiveEnds>,
 ) {
     stats.alive_workers.fetch_add(1, Ordering::SeqCst);
     let mut selector: Box<dyn Selector> = match cfg.selector {
@@ -408,6 +590,16 @@ fn worker_loop(
     let mut last_ready = 0usize;
     // Cached copy of the drain deadline (fixed once draining starts).
     let mut drain_deadline: Option<Instant> = None;
+    // Per-worker deadline wheel, keyed by connection token (tokens are
+    // never reused, so a popped entry whose connection is gone is simply
+    // stale — no cancellation bookkeeping on the hot path). When the policy
+    // arms no deadline at all, the wheel is never touched: the paper
+    // configuration pays nothing.
+    let epoch = Instant::now();
+    let deadlines_on = cfg.lifecycle.idle_timeout.is_some()
+        || cfg.lifecycle.header_timeout.is_some()
+        || cfg.lifecycle.write_stall_timeout.is_some();
+    let mut wheel: DeadlineWheel<usize> = DeadlineWheel::new();
 
     while !ctl.stop.load(Ordering::Relaxed) {
         if take_crash_token(&ctl) {
@@ -433,16 +625,23 @@ fn worker_loop(
             {
                 gauges.add(GaugeKind::OpenConns, 1);
                 gauges.add(GaugeKind::RegisteredConns, 1);
-                conns.insert(
-                    next_token,
-                    Conn {
-                        stream,
-                        parser: RequestParser::new(),
-                        out: ReplyQueue::new(),
-                        close_after_flush: false,
-                        registered: Interest::READABLE,
-                    },
-                );
+                let mut conn = Conn {
+                    stream,
+                    parser: RequestParser::new(),
+                    out: ReplyQueue::new(),
+                    close_after_flush: false,
+                    registered: Interest::READABLE,
+                    last_activity_ns: 0,
+                    last_write_progress_ns: 0,
+                    bytes_flushed: 0,
+                    head_start_ns: 0,
+                    armed_until: u64::MAX,
+                };
+                if deadlines_on {
+                    conn.last_activity_ns = epoch.elapsed().as_nanos() as u64;
+                    rearm_deadline(&mut wheel, &mut conn, next_token, &cfg.lifecycle);
+                }
+                conns.insert(next_token, conn);
             }
         }
 
@@ -462,6 +661,12 @@ fn worker_loop(
         gauges.sub(GaugeKind::ReadySetSize, last_ready as u64);
         last_ready = ready;
         let draining = ctl.draining.load(Ordering::Relaxed);
+        // One clock read per wakeup serves every deadline decision below.
+        let now_ns = if deadlines_on {
+            epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         // Drain the event buffer in place (`Event` is `Copy`): the `Vec`
         // keeps its capacity across iterations instead of being discarded
         // and regrown from zero every loop.
@@ -475,14 +680,39 @@ fn worker_loop(
                 continue;
             };
             let mut dead = ev.error && !ev.readable;
+            let flushed_before = conn.bytes_flushed;
+            let had_output = conn.wants_write();
             if ev.readable && !dead {
-                dead = handle_readable(conn, &cfg, &stats, &mut read_buf, &date);
+                dead = handle_readable(conn, &cfg, &stats, &ends, &mut read_buf, &date);
             }
             if ev.writable && !dead {
                 dead = flush_output(conn, &stats);
             }
             if !dead && !conn.wants_write() && conn.close_after_flush {
                 dead = true;
+            }
+            if !dead && deadlines_on {
+                // Readiness on this connection is progress: slide the
+                // activity clock, start/clear the header clock (absolute
+                // from the first byte of a partial head — a dribble must
+                // not refresh it), and tighten the armed deadline. The
+                // write-stall clock slides only on actual write progress
+                // (or output first becoming pending) — read activity from
+                // a never-draining peer must not reset it.
+                conn.last_activity_ns = now_ns;
+                if conn.bytes_flushed != flushed_before
+                    || (!had_output && conn.wants_write())
+                {
+                    conn.last_write_progress_ns = now_ns;
+                }
+                if conn.parser.buffered() > 0 {
+                    if conn.head_start_ns == 0 {
+                        conn.head_start_ns = now_ns;
+                    }
+                } else {
+                    conn.head_start_ns = 0;
+                }
+                rearm_deadline(&mut wheel, conn, token, &cfg.lifecycle);
             }
             if dead {
                 if draining {
@@ -507,6 +737,61 @@ fn worker_loop(
                         conn.registered = want;
                     }
                 }
+            }
+        }
+
+        // Deadline harvest: pop every expired wheel entry and re-check it
+        // against the connection's *current* deadline — entries are lazy, so
+        // a pop is a hypothesis, not a verdict. A still-live connection
+        // re-arms; a genuinely expired one is torn down by cause.
+        if deadlines_on {
+            while let Some((_, token)) = wheel.pop_due(now_ns) {
+                let expired = match conns.get_mut(&token) {
+                    // Token gone: the connection closed normally after this
+                    // entry was armed. Stale, skip.
+                    None => None,
+                    Some(conn) => {
+                        conn.armed_until = u64::MAX;
+                        match conn.next_due(&cfg.lifecycle) {
+                            None => None,
+                            Some((due, _)) if due > now_ns => {
+                                wheel.schedule(due, token);
+                                conn.armed_until = due;
+                                None
+                            }
+                            Some((_, cause)) => Some(cause),
+                        }
+                    }
+                };
+                let Some(cause) = expired else {
+                    continue;
+                };
+                let mut conn = conns.remove(&token).expect("present above");
+                ends.record(cause);
+                match cause {
+                    EndCause::HeaderTimeout => {
+                        // Answer the half-sent request before closing: the
+                        // head is tiny, one non-blocking shot delivers it
+                        // unless the attacker also jammed the send buffer.
+                        respond_status(&mut conn, Status::RequestTimeout, &date);
+                        let _ = flush_output(&mut conn, &stats);
+                    }
+                    _ => {
+                        // Idle / write-stall: abortive close — httpd2's
+                        // observable behaviour, the Fig-3 reset stream.
+                        let _ = set_linger_zero(&conn.stream);
+                    }
+                }
+                if draining {
+                    if conn.wants_write() {
+                        ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        ctl.drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                let _ = selector.deregister(conn.stream.as_raw_fd());
+                gauges.sub(GaugeKind::OpenConns, 1);
+                gauges.sub(GaugeKind::RegisteredConns, 1);
             }
         }
 
@@ -549,6 +834,7 @@ fn handle_readable(
     conn: &mut Conn,
     cfg: &NioConfig,
     stats: &NioStats,
+    ends: &LiveEnds,
     scratch: &mut [u8],
     date: &str,
 ) -> bool {
@@ -566,9 +852,19 @@ fn handle_readable(
                             conn.parser.recycle(req);
                         }
                         ParseOutcome::Incomplete => break,
-                        ParseOutcome::Error(_) => {
+                        ParseOutcome::Error(e) => {
                             stats.parse_errors.fetch_add(1, Ordering::Relaxed);
-                            respond_status(conn, Status::BadRequest, date);
+                            // A tripped parser *limit* is a resource
+                            // defense, not a syntax error: say so with 431
+                            // and count it in the lifecycle tally.
+                            let status = match e {
+                                ParseError::LineTooLong | ParseError::TooManyHeaders => {
+                                    ends.record(EndCause::ParseLimit);
+                                    Status::RequestHeaderFieldsTooLarge
+                                }
+                                _ => Status::BadRequest,
+                            };
+                            respond_status(conn, status, date);
                             conn.close_after_flush = true;
                             break;
                         }
@@ -670,6 +966,7 @@ fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
             Ok(0) => return true,
             Ok(n) => {
                 stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                conn.bytes_flushed += n as u64;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -774,6 +1071,7 @@ mod tests {
             workers,
             selector,
             shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
             content: test_content(),
         })
         .unwrap()
@@ -796,6 +1094,7 @@ mod tests {
             workers: 1,
             selector: SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -822,6 +1121,7 @@ mod tests {
             workers: 2,
             selector: SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -870,6 +1170,7 @@ mod tests {
             workers: 1,
             selector: SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -897,6 +1198,7 @@ mod tests {
             workers: 1,
             selector: SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .unwrap();
@@ -1016,5 +1318,147 @@ mod tests {
         // The connection is now closed at our end.
         let closed = matches!(s.read(&mut tmp), Ok(0) | Err(_));
         assert!(closed, "drained connection still open");
+    }
+
+    fn start_with_lifecycle(lifecycle: LifecyclePolicy) -> NioServer {
+        NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            shed_watermark: None,
+            lifecycle,
+            content: test_content(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn oversize_request_line_gets_431_not_400() {
+        let server = start(1, SelectorKind::Epoll);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Request line longer than the default 8192-byte per-line limit.
+        let long = format!("GET /{} HTTP/1.1\r\nHost: t\r\n\r\n", "a".repeat(9000));
+        s.write_all(long.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 431, "parser limit must answer 431");
+        assert!(!head.keep_alive, "431 closes the connection");
+        assert_eq!(
+            server.ends().get(obs::EndCause::ParseLimit),
+            1,
+            "parse-limit close must be tallied"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_resets_like_httpd2() {
+        // The Fig-3 knob: the same binary that never resets by default
+        // produces httpd2's reset stream once the idle timeout is armed.
+        let server = start_with_lifecycle(LifecyclePolicy {
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..LifecyclePolicy::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        let n = s.read(&mut tmp).unwrap();
+        assert!(n > 0, "first request must be served");
+        // Think silently past the timeout; the server reclaims the
+        // connection abortively.
+        std::thread::sleep(Duration::from_millis(900));
+        let dead = matches!(s.read(&mut tmp), Ok(0) | Err(_));
+        assert!(dead, "idle connection must be reclaimed");
+        assert_eq!(server.ends().get(obs::EndCause::IdleTimeout), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_header_gets_408() {
+        let server = start_with_lifecycle(LifecyclePolicy {
+            header_timeout: Some(Duration::from_millis(300)),
+            ..LifecyclePolicy::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // A slow-loris opening: start a request head, then stall forever.
+        s.write_all(b"GET /f/0 HT").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 408, "stalled header must be answered");
+        assert_eq!(server.ends().get(obs::EndCause::HeaderTimeout), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn header_dribble_does_not_slide_the_deadline() {
+        // Anti-slow-loris: the header deadline is absolute from the first
+        // byte, so dribbling one byte per 100 ms cannot hold it open.
+        let server = start_with_lifecycle(LifecyclePolicy {
+            header_timeout: Some(Duration::from_millis(400)),
+            ..LifecyclePolicy::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let t0 = Instant::now();
+        let mut buf = Vec::new();
+        for b in b"GET /f/0 HTTP/1.1\r\nHost:" {
+            if s.write_all(&[*b]).is_err() {
+                break; // server already cut us off mid-dribble
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            if t0.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let _ = s.read_to_end(&mut buf);
+        assert!(
+            t0.elapsed() < Duration::from_secs(3),
+            "dribbled head must not survive past the absolute deadline"
+        );
+        assert_eq!(server.ends().get(obs::EndCause::HeaderTimeout), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_answers_503_and_close() {
+        let server = start_with_lifecycle(LifecyclePolicy {
+            max_conns: Some(0),
+            ..LifecyclePolicy::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 503, "over-cap admission must answer 503");
+        assert!(!head.keep_alive, "refusal must close");
+        assert_eq!(server.ends().get(obs::EndCause::Refused), 1);
+        assert_eq!(server.stats().refused.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_lifecycle_never_times_out_thinking_clients() {
+        // Paper shape preserved: with the default policy a silent keep-alive
+        // connection survives arbitrarily long thinking pauses.
+        let server = start(1, SelectorKind::Epoll);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        assert!(s.read(&mut tmp).unwrap() > 0);
+        std::thread::sleep(Duration::from_millis(700));
+        // Still alive: a second request on the same connection succeeds.
+        write!(s, "GET /f/1 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(server.ends().total(), 0, "no lifecycle teardowns");
+        server.shutdown();
     }
 }

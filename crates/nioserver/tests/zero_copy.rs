@@ -31,6 +31,7 @@ fn start(selector: SelectorKind, content: &Arc<ContentStore>) -> NioServer {
         workers: 1,
         selector,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(content),
     })
     .unwrap()
@@ -104,7 +105,7 @@ fn get_matches_copying_path_byte_for_byte() {
         let date = extract_date(&raw);
         let body = content.body(FileId(3));
         let lm = content.last_modified(FileId(3));
-        let expect = reference(Status::Ok, body.len(), false, &date, Some(&lm), body);
+        let expect = reference(Status::Ok, body.len(), false, &date, Some(lm), body);
         assert_eq!(raw, expect, "{sel:?}");
         server.shutdown();
     }
@@ -122,7 +123,7 @@ fn head_matches_copying_path_byte_for_byte() {
         let date = extract_date(&raw);
         let lm = content.last_modified(FileId(5));
         let len = content.size_of(FileId(5)) as usize;
-        let expect = reference(Status::Ok, len, false, &date, Some(&lm), &[]);
+        let expect = reference(Status::Ok, len, false, &date, Some(lm), &[]);
         assert_eq!(raw, expect, "{sel:?}");
         server.shutdown();
     }
@@ -141,7 +142,7 @@ fn not_modified_matches_copying_path_byte_for_byte() {
             ),
         );
         let date = extract_date(&raw);
-        let expect = reference(Status::NotModified, 0, false, &date, Some(&lm), &[]);
+        let expect = reference(Status::NotModified, 0, false, &date, Some(lm), &[]);
         assert_eq!(raw, expect, "{sel:?}");
         server.shutdown();
     }
@@ -190,7 +191,7 @@ fn pipelined_burst_matches_copying_path_byte_for_byte() {
             let lm = content.last_modified(FileId(id));
             let keep = id != 4;
             expect.clear();
-            expect.extend(reference(Status::Ok, body.len(), keep, &date, Some(&lm), body));
+            expect.extend(reference(Status::Ok, body.len(), keep, &date, Some(lm), body));
             let got = &raw[off..off + head.head_len + head.content_length];
             assert_eq!(got, &expect[..], "{sel:?} reply {id}");
             off += head.head_len + head.content_length;

@@ -9,7 +9,8 @@
 //! {"type":"request","conn":C,"seq":S,"start_ns":A,"end_ns":B,"end":"done",
 //!  "total_ns":T,"stages":[{"stage":"parse","ns":N},...]}
 //! {"type":"counters","spans_dropped":..,"requests_dropped":..,
-//!  "gauge_overflow":..,"trace_dropped":..}
+//!  "gauge_overflow":..,"trace_dropped":..,
+//!  "ends":{"idle-timeout":..,"header-timeout":..,...}}
 //! ```
 //!
 //! The writer is the workspace's hand-rolled `metrics::Json` (no serde, per
@@ -17,6 +18,7 @@
 //! from corrupting lines, and the tests below pin that.
 
 use crate::gauge::{GaugeLog, GaugeSample};
+use crate::lifecycle::EndTally;
 use crate::record::{RequestBreakdown, Span, SpanLog};
 use crate::Obs;
 use metrics::Json;
@@ -107,20 +109,28 @@ pub fn request_line(b: &RequestBreakdown) -> Json {
 }
 
 /// The trailing accounting line: every bounded store's eviction/overflow
-/// count, plus the sim trace ring's eviction count when applicable. An
-/// export without this line can silently misrepresent a saturated run.
+/// count, the sim trace ring's eviction count when applicable, and the
+/// server-side termination-cause tally. An export without this line can
+/// silently misrepresent a saturated run.
 pub fn counters_line(
     spans: &SpanLog,
     requests_dropped: u64,
     gauges: &GaugeLog,
     trace_dropped: u64,
+    ends: &EndTally,
 ) -> Json {
+    let end_pairs: Vec<(&str, Json)> = ends
+        .rows()
+        .into_iter()
+        .map(|(label, count)| (label, Json::from(count)))
+        .collect();
     Json::obj(vec![
         ("type", "counters".into()),
         ("spans_dropped", spans.dropped().into()),
         ("requests_dropped", requests_dropped.into()),
         ("gauge_overflow", gauges.overflow().into()),
         ("trace_dropped", trace_dropped.into()),
+        ("ends", Json::obj(end_pairs)),
     ])
 }
 
@@ -143,7 +153,14 @@ pub fn to_jsonl(obs: &Obs, meta: &ExportMeta, trace_dropped: u64) -> String {
         out.push('\n');
     }
     out.push_str(
-        &counters_line(&obs.spans, obs.requests.dropped(), &obs.gauges, trace_dropped).render(),
+        &counters_line(
+            &obs.spans,
+            obs.requests.dropped(),
+            &obs.gauges,
+            trace_dropped,
+            &obs.ends,
+        )
+        .render(),
     );
     out.push('\n');
     out
@@ -173,6 +190,7 @@ mod tests {
         obs.requests.begin(1, 0, Stage::Parse);
         obs.requests.mark_next(1, Stage::Transfer, 7);
         obs.requests.finish_next(1, 9, EndReason::Done);
+        obs.ends.add(crate::lifecycle::EndCause::ParseLimit, 3);
         obs
     }
 
@@ -190,6 +208,8 @@ mod tests {
         assert!(lines[3].contains(r#""end":"done""#));
         assert!(lines[3].contains(r#""total_ns":9"#));
         assert!(lines[4].contains(r#""trace_dropped":2"#));
+        assert!(lines[4].contains(r#""ends":{"idle-timeout":0,"#));
+        assert!(lines[4].contains(r#""parse-limit":3"#));
         // Every line is a lone object: starts `{`, ends `}`.
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     }

@@ -31,12 +31,14 @@
 
 pub mod export;
 pub mod gauge;
+pub mod lifecycle;
 pub mod record;
 pub mod report;
 pub mod stage;
 
 pub use export::{to_jsonl, ExportMeta};
 pub use gauge::{spawn_sampler, GaugeKind, GaugeLog, GaugeSample, LiveGauges};
+pub use lifecycle::{EndCause, EndTally, LiveEnds};
 pub use record::{RequestBreakdown, RequestTracker, Span, SpanLog};
 pub use stage::{EndReason, Stage};
 
@@ -71,6 +73,8 @@ pub struct Obs {
     pub spans: SpanLog,
     pub requests: RequestTracker,
     pub gauges: GaugeLog,
+    /// Server-side connection-termination causes (lifecycle taxonomy).
+    pub ends: EndTally,
     sample_period_ns: u64,
 }
 
@@ -82,6 +86,7 @@ impl Obs {
             spans: SpanLog::bounded(cfg.span_capacity),
             requests: RequestTracker::bounded(cfg.request_capacity),
             gauges: GaugeLog::bounded(cfg.gauge_capacity),
+            ends: EndTally::new(),
             sample_period_ns: cfg.sample_period_ns.max(1),
         }
     }
@@ -94,6 +99,7 @@ impl Obs {
             spans: SpanLog::bounded(0),
             requests: RequestTracker::bounded(0),
             gauges: GaugeLog::bounded(0),
+            ends: EndTally::new(),
             sample_period_ns: u64::MAX,
         }
     }
@@ -115,6 +121,7 @@ impl Obs {
         self.spans.merge(other.spans);
         self.requests.merge(other.requests);
         self.gauges.merge(other.gauges);
+        self.ends.merge(&other.ends);
     }
 }
 

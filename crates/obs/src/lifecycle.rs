@@ -1,0 +1,185 @@
+//! Typed connection-termination causes.
+//!
+//! [`EndReason`](crate::stage::EndReason) classifies how a *request* ended
+//! from the client's point of view. This module classifies why the *server*
+//! ended (or refused) a connection — the lifecycle-policy outcomes the
+//! Fig-3 asymmetry story turns on. Every deliberate teardown the servers
+//! perform maps to exactly one [`EndCause`]; the closed set means an
+//! unexplained disconnect in a capture is a bug, not a shrug.
+//!
+//! Live servers bump the lock-free [`LiveEnds`] registry on their teardown
+//! paths and snapshot it into an [`EndTally`] at collection time; the
+//! simulator records straight into the tally. Both flow into the JSONL
+//! `counters` line and the terminal report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The closed set of server-side connection-termination causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndCause {
+    /// Keep-alive connection idle past the configured idle timeout
+    /// (httpd2's 15 s policy; `None` on the paper's nio).
+    IdleTimeout,
+    /// Client started a request head but never finished it in time
+    /// (slow-loris shape) — answered with `408 Request Timeout`.
+    HeaderTimeout,
+    /// Client stopped draining its socket mid-reply past the write-stall
+    /// timeout (never-reads shape).
+    WriteStall,
+    /// Refused at admission by the shed watermark or connection cap.
+    Refused,
+    /// Refused because accepting would eat into the fd headroom reserve.
+    FdReserve,
+    /// Request head exceeded a parser limit — answered with `431`.
+    ParseLimit,
+}
+
+impl EndCause {
+    pub const ALL: [EndCause; 6] = [
+        EndCause::IdleTimeout,
+        EndCause::HeaderTimeout,
+        EndCause::WriteStall,
+        EndCause::Refused,
+        EndCause::FdReserve,
+        EndCause::ParseLimit,
+    ];
+
+    /// Stable label used in JSONL exports and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EndCause::IdleTimeout => "idle-timeout",
+            EndCause::HeaderTimeout => "header-timeout",
+            EndCause::WriteStall => "write-stall",
+            EndCause::Refused => "refused",
+            EndCause::FdReserve => "fd-reserve",
+            EndCause::ParseLimit => "parse-limit",
+        }
+    }
+
+    fn index(self) -> usize {
+        EndCause::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("cause in ALL")
+    }
+}
+
+/// Plain per-cause counts — the snapshot/merge form carried by `Obs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndTally {
+    counts: [u64; EndCause::ALL.len()],
+}
+
+impl EndTally {
+    pub fn new() -> Self {
+        EndTally::default()
+    }
+
+    pub fn record(&mut self, cause: EndCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    pub fn add(&mut self, cause: EndCause, n: u64) {
+        self.counts[cause.index()] += n;
+    }
+
+    pub fn get(&self, cause: EndCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn merge(&mut self, other: &EndTally) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(label, count)` pairs in taxonomy order.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        EndCause::ALL
+            .iter()
+            .map(|&c| (c.label(), self.get(c)))
+            .collect()
+    }
+}
+
+/// Lock-free termination-cause registry for the live layer — the same
+/// relaxed-atomic cost class as `LiveGauges`.
+#[derive(Debug, Default)]
+pub struct LiveEnds {
+    values: [AtomicU64; EndCause::ALL.len()],
+}
+
+impl LiveEnds {
+    pub fn new() -> Self {
+        LiveEnds::default()
+    }
+
+    #[inline]
+    pub fn record(&self, cause: EndCause) {
+        self.values[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, cause: EndCause) -> u64 {
+        self.values[cause.index()].load(Ordering::Relaxed)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.values.iter().map(|v| v.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Copy the current counts into a mergeable snapshot.
+    pub fn snapshot(&self) -> EndTally {
+        let mut tally = EndTally::new();
+        for &cause in EndCause::ALL.iter() {
+            tally.add(cause, self.get(cause));
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: Vec<&str> = EndCause::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), EndCause::ALL.len(), "duplicate label");
+        assert_eq!(EndCause::IdleTimeout.label(), "idle-timeout");
+        assert_eq!(EndCause::ParseLimit.label(), "parse-limit");
+    }
+
+    #[test]
+    fn tally_records_and_merges() {
+        let mut a = EndTally::new();
+        a.record(EndCause::Refused);
+        a.record(EndCause::Refused);
+        let mut b = EndTally::new();
+        b.record(EndCause::IdleTimeout);
+        a.merge(&b);
+        assert_eq!(a.get(EndCause::Refused), 2);
+        assert_eq!(a.get(EndCause::IdleTimeout), 1);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.rows().len(), EndCause::ALL.len());
+    }
+
+    #[test]
+    fn live_registry_snapshots() {
+        let live = LiveEnds::new();
+        live.record(EndCause::HeaderTimeout);
+        live.record(EndCause::WriteStall);
+        live.record(EndCause::WriteStall);
+        let snap = live.snapshot();
+        assert_eq!(snap.get(EndCause::HeaderTimeout), 1);
+        assert_eq!(snap.get(EndCause::WriteStall), 2);
+        assert_eq!(snap.total(), live.total());
+    }
+}

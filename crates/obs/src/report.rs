@@ -71,6 +71,26 @@ pub fn end_reason_table(requests: &RequestTracker) -> String {
     table.render()
 }
 
+/// Server-side termination-cause accounting — why connections ended, in the
+/// lifecycle-policy taxonomy (idle/header/write-stall timeouts, refusals,
+/// fd-reserve, parse limits). Zero rows are omitted; an all-zero tally
+/// renders a single "none" row so the section never silently disappears.
+pub fn end_cause_table(ends: &crate::lifecycle::EndTally) -> String {
+    let mut table = Table::new(&[("cause", Align::Left), ("conns", Align::Right)]);
+    let mut any = false;
+    for (label, count) in ends.rows() {
+        if count == 0 {
+            continue;
+        }
+        any = true;
+        table.row(vec![label.to_string(), count.to_string()]);
+    }
+    if !any {
+        table.row(vec!["none".to_string(), "0".to_string()]);
+    }
+    table.render()
+}
+
 /// Downsample a gauge series onto `buckets` equal time windows (mean per
 /// window) and chart it. Returns None when the gauge was never sampled.
 pub fn gauge_timeline(log: &GaugeLog, kind: GaugeKind, buckets: usize) -> Option<String> {
@@ -281,6 +301,20 @@ mod tests {
         let chart = gauge_timeline(&log, GaugeKind::OpenConns, 10).unwrap();
         assert!(chart.contains("open-conns"));
         assert!(gauge_timeline(&log, GaugeKind::ActiveFlows, 10).is_none());
+    }
+
+    #[test]
+    fn end_cause_table_hides_zero_rows() {
+        use crate::lifecycle::{EndCause, EndTally};
+        let mut ends = EndTally::new();
+        assert!(end_cause_table(&ends).contains("none"));
+        ends.record(EndCause::HeaderTimeout);
+        ends.record(EndCause::Refused);
+        let s = end_cause_table(&ends);
+        assert!(s.contains("header-timeout"));
+        assert!(s.contains("refused"));
+        assert!(!s.contains("write-stall"));
+        assert!(!s.contains("none"));
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //! accepts or crash/restart pool threads under a fault plan.
 
 use faults::DrainReport;
-use httpcore::{ContentStore, Method, ParseOutcome, RequestParser, Status, Version};
-use obs::{GaugeKind, LiveGauges};
+use httpcore::{
+    ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, RequestParser, Status,
+    Version,
+};
+use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,9 +42,15 @@ use std::time::{Duration, Instant};
 pub struct PoolConfig {
     /// Threads in the pool (the paper sweeps 512–6000; live tests use less).
     pub pool_size: usize,
-    /// Close connections idle longer than this (None = never — which, as
-    /// the paper explains, a threaded server cannot afford under load).
-    pub idle_timeout: Option<Duration>,
+    /// Connection-lifecycle policy shared with the event server. For this
+    /// architecture `idle_timeout` is the load-bearing knob (Apache's 15 s
+    /// `Timeout` — which, as the paper explains, a threaded server cannot
+    /// afford to leave unset under load); `header_timeout` bounds slow-loris
+    /// head dribbling; the accept-path defenses (`fd_reserve`, `max_conns`)
+    /// apply as in the event server. `write_stall_timeout` is not enforced
+    /// here: a blocking write already binds the thread, which is this
+    /// architecture's failure mode, not a policy violation.
+    pub lifecycle: LifecyclePolicy,
     /// Load shedding: refuse new connections (abortive close on accept)
     /// while at least this many threads are already bound. None = admit
     /// until the kernel backlog fills.
@@ -64,6 +74,9 @@ pub struct PoolStats {
     pub alive_threads: AtomicU64,
     /// Fault injections consumed: threads that crashed on request.
     pub worker_crashes: AtomicU64,
+    /// Transient `accept()` errors tolerated (EMFILE/ENFILE/ECONNABORTED/
+    /// EINTR and friends) — each was retried, not fatal.
+    pub accept_errors: AtomicU64,
 }
 
 /// Shared mutable control state: shutdown/drain flags, fault hooks, and the
@@ -141,6 +154,7 @@ pub struct PoolServer {
     ctl: Arc<PoolCtl>,
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
+    ends: Arc<LiveEnds>,
     /// `None` once the port is released (drain refuses new connections).
     listener: Arc<Mutex<Option<TcpListener>>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -159,6 +173,7 @@ impl PoolServer {
             ctl: Arc::new(PoolCtl::default()),
             stats: Arc::new(PoolStats::default()),
             gauges: Arc::new(LiveGauges::new()),
+            ends: Arc::new(LiveEnds::new()),
             listener: Arc::new(Mutex::new(Some(listener))),
             threads: Mutex::new(Vec::new()),
         };
@@ -175,9 +190,10 @@ impl PoolServer {
         let ctl = Arc::clone(&self.ctl);
         let stats = Arc::clone(&self.stats);
         let gauges = Arc::clone(&self.gauges);
+        let ends = Arc::clone(&self.ends);
         let handle = std::thread::Builder::new()
             .name(format!("pool-{i}"))
-            .spawn(move || pool_thread(cfg, listener, ctl, stats, gauges))?;
+            .spawn(move || pool_thread(cfg, listener, ctl, stats, gauges, ends))?;
         self.threads.lock().push(handle);
         Ok(())
     }
@@ -195,6 +211,13 @@ impl PoolServer {
     /// [`obs::GaugeLog`] while the server runs.
     pub fn gauges(&self) -> Arc<LiveGauges> {
         Arc::clone(&self.gauges)
+    }
+
+    /// Lock-free connection-termination tally (why connections ended, in
+    /// the lifecycle-policy taxonomy). Snapshot it into an
+    /// [`obs::EndTally`] for export.
+    pub fn ends(&self) -> Arc<LiveEnds> {
+        Arc::clone(&self.ends)
     }
 
     fn stop_and_join(&self) {
@@ -280,8 +303,13 @@ fn pool_thread(
     ctl: Arc<PoolCtl>,
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
+    ends: Arc<LiveEnds>,
 ) {
     stats.alive_threads.fetch_add(1, Ordering::SeqCst);
+    let fd_limit = rlimit_nofile();
+    // EMFILE/ENFILE backoff: retrying at full speed starves the very
+    // connection teardowns that would free fds.
+    let mut exhaustion_backoff = Duration::from_millis(1);
     loop {
         if ctl.stop.load(Ordering::Relaxed) || ctl.draining.load(Ordering::Relaxed) {
             break;
@@ -304,6 +332,31 @@ fn pool_thread(
         };
         match accepted {
             Ok((stream, _)) => {
+                exhaustion_backoff = Duration::from_millis(1);
+                // Fd headroom reserve: the accepted fd number tells us how
+                // close the process is to RLIMIT_NOFILE (fds are allocated
+                // lowest-free). Inside the reserve, refuse abortively.
+                if cfg.lifecycle.fd_reserve > 0
+                    && stream.as_raw_fd() as u64 + cfg.lifecycle.fd_reserve >= fd_limit
+                {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::FdReserve);
+                    let _ = set_linger_zero(&stream);
+                    continue;
+                }
+                // Hard admission cap: refuse politely with `503
+                // Connection: close` so well-behaved clients see an HTTP
+                // answer, not a silent drop.
+                if cfg
+                    .lifecycle
+                    .max_conns
+                    .is_some_and(|cap| gauges.get(GaugeKind::OpenConns) >= cap)
+                {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::Refused);
+                    respond_unavailable(&stream);
+                    continue;
+                }
                 let shed = cfg
                     .shed_watermark
                     .is_some_and(|w| stats.busy_threads.load(Ordering::Relaxed) >= w);
@@ -312,6 +365,7 @@ fn pool_thread(
                     // observes the refusal instead of queueing behind an
                     // exhausted pool.
                     stats.refused.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::Refused);
                     let _ = set_linger_zero(&stream);
                     continue;
                 }
@@ -323,7 +377,7 @@ fn pool_thread(
                 gauges.add(GaugeKind::OpenConns, 1);
                 let in_flight = Arc::new(AtomicBool::new(false));
                 let id = ctl.registry.register(&stream, &in_flight);
-                let owed = serve_connection(&cfg, stream, &ctl, &stats, &in_flight);
+                let owed = serve_connection(&cfg, stream, &ctl, &stats, &ends, &in_flight);
                 ctl.registry.remove(id);
                 if ctl.draining.load(Ordering::SeqCst) {
                     if owed {
@@ -339,7 +393,26 @@ fn pool_thread(
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => match e.raw_os_error() {
+                // A connection that died between SYN and accept, or a
+                // signal: retry immediately, nothing is wrong with us.
+                Some(EINTR) | Some(ECONNABORTED) => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                // Out of fds (process or system wide): back off
+                // exponentially so in-flight teardowns can release some.
+                Some(EMFILE) | Some(ENFILE) => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::FdReserve);
+                    std::thread::sleep(exhaustion_backoff);
+                    exhaustion_backoff =
+                        (exhaustion_backoff * 2).min(Duration::from_millis(100));
+                }
+                _ => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            },
         }
     }
     stats.alive_threads.fetch_sub(1, Ordering::SeqCst);
@@ -353,6 +426,7 @@ fn serve_connection(
     mut stream: TcpStream,
     ctl: &PoolCtl,
     stats: &PoolStats,
+    ends: &LiveEnds,
     in_flight: &AtomicBool,
 ) -> bool {
     let _ = stream.set_nodelay(true);
@@ -362,19 +436,46 @@ fn serve_connection(
     let _ = set_sndbuf(&stream, 1 << 19);
     // Blocking reads with the idle timeout as the read timeout — exactly the
     // Apache `Timeout` directive's mechanism. Bounded by 1 s slices so the
-    // thread also notices server shutdown.
-    let idle = cfg.idle_timeout.unwrap_or(Duration::from_secs(3600));
+    // thread also notices server shutdown, and by the header deadline so a
+    // stalled head is answered on time.
+    let idle = cfg
+        .lifecycle
+        .idle_timeout
+        .unwrap_or(Duration::from_secs(3600));
     let mut idle_left = idle;
-    let slice = Duration::from_secs(1).min(idle);
+    let slice = Duration::from_secs(1)
+        .min(idle)
+        .min(cfg.lifecycle.header_timeout.unwrap_or(Duration::MAX));
     let _ = stream.set_read_timeout(Some(slice));
     let mut parser = RequestParser::new();
     let mut buf = vec![0u8; 64 * 1024];
     // Head buffer reused across every response on this connection.
     let mut head = Vec::new();
+    // Absolute deadline for delivering a complete request head, armed at
+    // the first partial byte. Absolute — a byte-per-second dribble (the
+    // slow-loris shape) must not slide it.
+    let mut head_started: Option<Instant> = None;
     let date = httpcore::now_http_date();
     loop {
         if ctl.stop.load(Ordering::Relaxed) {
             return false;
+        }
+        if let (Some(limit), Some(t0)) = (cfg.lifecycle.header_timeout, head_started) {
+            if t0.elapsed() >= limit {
+                // The head never completed in time: answer 408 and close.
+                ends.record(EndCause::HeaderTimeout);
+                let mut out = Vec::new();
+                httpcore::write_head(
+                    &mut out,
+                    Version::Http11,
+                    Status::RequestTimeout,
+                    0,
+                    false,
+                    &date,
+                );
+                let _ = stream.write_all(&out);
+                return false;
+            }
         }
         match stream.read(&mut buf) {
             Ok(0) => return false, // client closed
@@ -399,13 +500,23 @@ fn serve_connection(
                             }
                         }
                         ParseOutcome::Incomplete => break,
-                        ParseOutcome::Error(_) => {
+                        ParseOutcome::Error(e) => {
                             stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                            // Limit trips are their own status: the request
+                            // was well-formed but oversized, and the client
+                            // deserves to know which defense fired.
+                            let status = match e {
+                                ParseError::LineTooLong | ParseError::TooManyHeaders => {
+                                    ends.record(EndCause::ParseLimit);
+                                    Status::RequestHeaderFieldsTooLarge
+                                }
+                                _ => Status::BadRequest,
+                            };
                             let mut out = Vec::new();
                             httpcore::write_head(
                                 &mut out,
                                 Version::Http11,
-                                Status::BadRequest,
+                                status,
                                 0,
                                 false,
                                 &date,
@@ -415,6 +526,11 @@ fn serve_connection(
                         }
                     }
                 }
+                head_started = if parser.buffered() > 0 {
+                    Some(head_started.unwrap_or_else(Instant::now))
+                } else {
+                    None
+                };
                 // Draining and every received request answered: close now
                 // rather than wait for more requests that will never be
                 // admitted.
@@ -433,6 +549,7 @@ fn serve_connection(
                     // client sees ECONNRESET on its next send, as the
                     // paper's Apache does.
                     stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+                    ends.record(EndCause::IdleTimeout);
                     let _ = set_linger_zero(&stream);
                     return false;
                 }
@@ -533,6 +650,52 @@ fn write_two(stream: &mut TcpStream, head: &[u8], body: &[u8]) -> io::Result<()>
     Ok(())
 }
 
+// Raw errno values for the accept-path tolerance matches (no libc crate in
+// the workspace, per dependency policy).
+const EINTR: i32 = 4;
+const ENFILE: i32 = 23;
+const EMFILE: i32 = 24;
+const ECONNABORTED: i32 = 103;
+
+/// Answer an over-cap connection with `503 Connection: close` — the one
+/// refusal that still speaks HTTP. Blocking write on a fresh socket: the
+/// head fits the send buffer, so this cannot stall the accept loop.
+fn respond_unavailable(stream: &TcpStream) {
+    let mut head = Vec::with_capacity(160);
+    let date = httpcore::now_http_date();
+    httpcore::write_head(
+        &mut head,
+        Version::Http11,
+        Status::ServiceUnavailable,
+        0,
+        false,
+        &date,
+    );
+    let mut w = stream;
+    let _ = w.write_all(&head);
+}
+
+/// Current `RLIMIT_NOFILE` soft limit (u64::MAX when the query fails, which
+/// effectively disables the reserve rather than refusing everything).
+fn rlimit_nofile() -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    let r = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+    if r == 0 {
+        lim.cur
+    } else {
+        u64::MAX
+    }
+}
+
 /// SO_SNDBUF: size the kernel send buffer (the kernel doubles the value
 /// for bookkeeping and clamps to `net.core.wmem_max`).
 fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
@@ -628,7 +791,10 @@ mod tests {
         let content = test_content();
         let server = PoolServer::start(PoolConfig {
             pool_size: pool,
-            idle_timeout: idle,
+            lifecycle: LifecyclePolicy {
+                idle_timeout: idle,
+                ..LifecyclePolicy::default()
+            },
             shed_watermark: None,
             content: Arc::clone(&content),
         })
@@ -822,7 +988,7 @@ mod tests {
         let content = test_content();
         let server = PoolServer::start(PoolConfig {
             pool_size: 4,
-            idle_timeout: None,
+            lifecycle: LifecyclePolicy::default(),
             shed_watermark: Some(1),
             content,
         })
@@ -898,6 +1064,89 @@ mod tests {
         server.stall_accepts(false);
         let (status, _) = t.join().unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    fn start_with_lifecycle(pool: usize, lifecycle: LifecyclePolicy) -> PoolServer {
+        PoolServer::start(PoolConfig {
+            pool_size: pool,
+            lifecycle,
+            shed_watermark: None,
+            content: test_content(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn oversize_request_line_gets_431_not_400() {
+        let (server, _) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let long = format!("GET /{} HTTP/1.1\r\nHost: t\r\n\r\n", "a".repeat(9000));
+        s.write_all(long.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 431, "parser limit must answer 431");
+        assert!(!head.keep_alive, "431 closes the connection");
+        assert_eq!(server.ends().get(EndCause::ParseLimit), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_header_gets_408() {
+        let server = start_with_lifecycle(
+            2,
+            LifecyclePolicy {
+                header_timeout: Some(Duration::from_millis(300)),
+                ..LifecyclePolicy::default()
+            },
+        );
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // A slow-loris opening: start a request head, then stall forever.
+        s.write_all(b"GET /f/0 HT").unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 408, "stalled header must be answered");
+        assert_eq!(server.ends().get(EndCause::HeaderTimeout), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_answers_503_and_close() {
+        let server = start_with_lifecycle(
+            2,
+            LifecyclePolicy {
+                max_conns: Some(0),
+                ..LifecyclePolicy::default()
+            },
+        );
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+        assert_eq!(head.status, 503, "over-cap admission must answer 503");
+        assert!(!head.keep_alive, "refusal must close");
+        assert_eq!(server.ends().get(EndCause::Refused), 1);
+        assert_eq!(server.stats().refused.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_close_is_tallied_as_end_cause() {
+        let (server, _) = start(2, Some(Duration::from_secs(1)));
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut tmp = [0u8; 65536];
+        assert!(s.read(&mut tmp).unwrap() > 0);
+        std::thread::sleep(Duration::from_millis(2500));
+        let dead = matches!(s.read(&mut tmp), Ok(0) | Err(_));
+        assert!(dead, "idle connection must be reclaimed");
+        assert_eq!(server.ends().get(EndCause::IdleTimeout), 1);
         server.shutdown();
     }
 }

@@ -67,13 +67,17 @@ fn responses_match_copying_path_byte_for_byte() {
     let content = content();
     let server = PoolServer::start(PoolConfig {
         pool_size: 2,
-        idle_timeout: Some(Duration::from_secs(30)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(30)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content: Arc::clone(&content),
     })
     .unwrap();
     let lm2 = content.last_modified(FileId(2));
-    let cases: Vec<(String, Status, usize, Option<String>, &[u8])> = vec![
+    type Case<'a> = (String, Status, usize, Option<String>, &'a [u8]);
+    let cases: Vec<Case> = vec![
         (
             "GET /f/3 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n".to_string(),
             Status::Ok,
@@ -123,7 +127,10 @@ fn pipelined_burst_matches_copying_path_byte_for_byte() {
     let content = content();
     let server = PoolServer::start(PoolConfig {
         pool_size: 2,
-        idle_timeout: Some(Duration::from_secs(30)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(30)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content: Arc::clone(&content),
     })
@@ -147,7 +154,7 @@ fn pipelined_burst_matches_copying_path_byte_for_byte() {
         let date = extract_date(&raw[off..]);
         let body = content.body(FileId(id));
         let lm = content.last_modified(FileId(id));
-        let expect = reference(Status::Ok, body.len(), id != 2, &date, Some(&lm), body);
+        let expect = reference(Status::Ok, body.len(), id != 2, &date, Some(lm), body);
         let got = &raw[off..off + head.head_len + head.content_length];
         assert_eq!(got, &expect[..], "reply {id}");
         off += head.head_len + head.content_length;

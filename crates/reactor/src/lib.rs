@@ -7,7 +7,9 @@
 //!   the 2004-JVM-vs-modern-kernel distinction the paper's cost model
 //!   parameterises;
 //! * [`waker`] — a self-pipe `Selector.wakeup()` analogue for cross-thread
-//!   event-loop interruption.
+//!   event-loop interruption;
+//! * [`wheel`] — a wall-clock hierarchical deadline wheel (the live twin of
+//!   `desim::wheel`) backing per-connection lifecycle timers.
 
 #[cfg(target_os = "linux")]
 pub mod selector;
@@ -15,8 +17,10 @@ pub mod selector;
 pub mod sys;
 #[cfg(target_os = "linux")]
 pub mod waker;
+pub mod wheel;
 
 #[cfg(target_os = "linux")]
 pub use selector::{EpollSelector, Event, Interest, PollSelector, Selector, Token};
 #[cfg(target_os = "linux")]
 pub use waker::Waker;
+pub use wheel::DeadlineWheel;

@@ -187,6 +187,12 @@ pub struct Testbed {
     accepts_stalled: bool,
     /// Slow-loris fault: clients with id below this trickle request bytes.
     loris_clients: u32,
+    /// Never-reads fault: clients with id below this stop draining replies,
+    /// so their reply flows wedge until the fault clears.
+    never_reads_clients: u32,
+    /// Fd-storm fault window: the server's fd headroom is exhausted, so
+    /// every arriving SYN is answered with an explicit refusal.
+    fd_storm: bool,
     /// Graceful drain in progress.
     draining: bool,
     /// Connections that closed cleanly (client FIN) since the drain began.
@@ -302,6 +308,8 @@ impl Testbed {
             obs,
             accepts_stalled: false,
             loris_clients: 0,
+            never_reads_clients: 0,
+            fd_storm: false,
             draining: false,
             drain_drained: 0,
             drain_aborted: 0,
@@ -481,6 +489,13 @@ impl Testbed {
             return;
         };
         if rec.active_flow.is_some() || !rec.net.is_established() {
+            return;
+        }
+        // Never-reads fault window: an afflicted client's receive window is
+        // shut, so the reply wedges in the pipeline (and, for the threaded
+        // server, keeps the bound thread wedged behind it) until the fault
+        // clears and `FaultEnd` kicks the stalled pipelines.
+        if self.never_reads_clients > 0 && rec.client.0 < self.never_reads_clients {
             return;
         }
         let Some(bytes) = rec.pipeline.pop_front() else {
@@ -830,10 +845,12 @@ impl Model for Testbed {
                     ctx.schedule_in(retry, Ev::SynRetry(conn));
                     return;
                 }
-                // Overload control: refuse explicitly while draining or
-                // when the load-shedding watermark is crossed, before any
-                // accept state is reserved.
-                if self.draining || self.shed_watermark_hit() {
+                // Overload control: refuse explicitly while draining, while
+                // an fd-storm has the fd table exhausted (the fd-reserve
+                // defense answers with an RST rather than dying on accept),
+                // or when the load-shedding watermark is crossed — before
+                // any accept state is reserved.
+                if self.draining || self.fd_storm || self.shed_watermark_hit() {
                     self.refuse_syn(ctx, conn);
                     return;
                 }
@@ -1386,6 +1403,19 @@ impl Model for Testbed {
                     faults::FaultKind::SlowLoris { clients } => {
                         self.loris_clients = clients.min(self.cfg.num_clients as usize) as u32;
                     }
+                    faults::FaultKind::NeverReads { clients } => {
+                        self.never_reads_clients =
+                            clients.min(self.cfg.num_clients as usize) as u32;
+                    }
+                    faults::FaultKind::FdStorm { sockets } => {
+                        self.fd_storm = true;
+                        // The storm's connect burst slams the accept path:
+                        // one kernel reject's worth of CPU per raw socket.
+                        let service = self.cfg.costs.reject_service(self.cfg.num_cpus);
+                        for _ in 0..sockets {
+                            self.submit_cpu(ctx, self.kernel_lane, service, Job::Reject);
+                        }
+                    }
                 }
             }
 
@@ -1419,6 +1449,23 @@ impl Model for Testbed {
                     }
                     faults::FaultKind::SlowLoris { .. } => {
                         self.loris_clients = 0;
+                    }
+                    faults::FaultKind::NeverReads { .. } => {
+                        self.never_reads_clients = 0;
+                        // Kick every pipeline the fault wedged: the clients
+                        // drain again, so stalled replies start flowing.
+                        let wedged: Vec<ConnId> = self
+                            .conns
+                            .iter()
+                            .filter(|(_, r)| r.active_flow.is_none() && !r.pipeline.is_empty())
+                            .map(|(&c, _)| c)
+                            .collect();
+                        for conn in wedged {
+                            self.try_start_flow(ctx, conn);
+                        }
+                    }
+                    faults::FaultKind::FdStorm { .. } => {
+                        self.fd_storm = false;
                     }
                     // Restart brings the crashed slots back; without it the
                     // reduced lane cap holds to the horizon.

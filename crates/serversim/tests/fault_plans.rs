@@ -14,7 +14,7 @@ const SEC: u64 = 1_000_000_000;
 /// Build one fault event from plain scalars (the shim strategies generate
 /// integers; the mapping below covers every `FaultKind`).
 fn event_from(kind_sel: u8, start_s: u64, dur_s: u64, knob: u32) -> FaultEvent {
-    let kind = match kind_sel % 6 {
+    let kind = match kind_sel % 8 {
         0 => FaultKind::LinkOutage { link: 0 },
         1 => FaultKind::LinkDegrade {
             link: 0,
@@ -29,8 +29,14 @@ fn event_from(kind_sel: u8, start_s: u64, dur_s: u64, knob: u32) -> FaultEvent {
             restart: knob.is_multiple_of(2),
         },
         4 => FaultKind::ServerStall,
-        _ => FaultKind::SlowLoris {
+        5 => FaultKind::SlowLoris {
             clients: (knob % 30) as usize + 1,
+        },
+        6 => FaultKind::NeverReads {
+            clients: (knob % 30) as usize + 1,
+        },
+        _ => FaultKind::FdStorm {
+            sockets: (knob % 400) as usize + 1,
         },
     };
     FaultEvent {
@@ -116,7 +122,7 @@ proptest! {
     /// debuggable: a chaos run can be reproduced exactly from its config.
     #[test]
     fn any_plan_is_deterministic(
-        kind_sel in 0u8..6,
+        kind_sel in 0u8..8,
         start_s in 2u64..10,
         dur_s in 1u64..7,
         knob in 0u32..100,
@@ -136,8 +142,8 @@ proptest! {
     /// still makes progress outside the fault windows.
     #[test]
     fn plans_preserve_accounting(
-        kind_a in 0u8..6,
-        kind_b in 0u8..6,
+        kind_a in 0u8..8,
+        kind_b in 0u8..8,
         knob in 0u32..100,
         which in 0u8..3,
         seed in 0u64..10_000,

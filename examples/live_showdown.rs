@@ -53,6 +53,7 @@ fn main() {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
             shed_watermark: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
             content: Arc::clone(&content),
         })
         .expect("start nio server");
@@ -69,7 +70,10 @@ fn main() {
     {
         let server = poolserver::PoolServer::start(poolserver::PoolConfig {
             pool_size: 64,
-            idle_timeout: Some(Duration::from_secs(2)),
+            lifecycle: httpcore::LifecyclePolicy {
+                idle_timeout: Some(Duration::from_secs(2)),
+                ..httpcore::LifecyclePolicy::default()
+            },
             shed_watermark: None,
             content: Arc::clone(&content),
         })

@@ -32,6 +32,7 @@ fn start_nio(workers: usize, shed: Option<u64>) -> nioserver::NioServer {
         workers,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: shed,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content: content(),
     })
     .unwrap()
@@ -40,7 +41,10 @@ fn start_nio(workers: usize, shed: Option<u64>) -> nioserver::NioServer {
 fn start_pool(pool_size: usize, shed: Option<u64>) -> poolserver::PoolServer {
     poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size,
-        idle_timeout: Some(Duration::from_secs(30)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(30)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: shed,
         content: content(),
     })

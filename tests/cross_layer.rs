@@ -62,6 +62,7 @@ fn reset_contrast_holds_in_both_layers() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -70,7 +71,10 @@ fn reset_contrast_holds_in_both_layers() {
 
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 8,
-        idle_timeout: Some(Duration::from_millis(300)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content,
     })
@@ -128,6 +132,7 @@ fn exhaustion_contrast_holds_in_both_layers() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(&content),
     })
     .unwrap();
@@ -135,7 +140,10 @@ fn exhaustion_contrast_holds_in_both_layers() {
     nio.shutdown();
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 2,
-        idle_timeout: Some(Duration::from_secs(1)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(1)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content,
     })

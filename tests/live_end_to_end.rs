@@ -41,6 +41,7 @@ fn one_worker_reactor_sustains_many_live_clients() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content,
     })
     .unwrap();
@@ -61,6 +62,7 @@ fn poll_backend_works_like_epoll() {
         workers: 2,
         selector: nioserver::SelectorKind::Poll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content,
     })
     .unwrap();
@@ -78,7 +80,10 @@ fn live_reset_contrast_between_architectures() {
 
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 8,
-        idle_timeout: Some(Duration::from_millis(300)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content: Arc::clone(&content),
     })
@@ -93,6 +98,7 @@ fn live_reset_contrast_between_architectures() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content,
     })
     .unwrap();
@@ -123,7 +129,10 @@ fn live_pool_exhaustion_throttles_throughput() {
 
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 2,
-        idle_timeout: Some(Duration::from_secs(1)),
+        lifecycle: httpcore::LifecyclePolicy {
+            idle_timeout: Some(Duration::from_secs(1)),
+            ..httpcore::LifecyclePolicy::default()
+        },
         shed_watermark: None,
         content: Arc::clone(&content),
     })
@@ -135,6 +144,7 @@ fn live_pool_exhaustion_throttles_throughput() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content,
     })
     .unwrap();

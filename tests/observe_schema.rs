@@ -95,6 +95,7 @@ fn live_capture() -> String {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content,
     })
     .expect("start server");
@@ -224,6 +225,7 @@ fn refused_end_reason_reaches_both_exporters_in_both_layers() {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
         shed_watermark: Some(0),
+        lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::new(ContentStore::from_fileset(&files)),
     })
     .expect("start server");
