@@ -41,6 +41,9 @@ fn main() {
     let mut bench_mode = false;
     let mut resilience_mode = false;
     let mut smoke = false;
+    // Accept path for event-driven sweeps: --sharded wins, else the
+    // REPRO_ACCEPT_MODE env var (the CI matrix axis), else handoff.
+    let mut accept_mode = faults::AcceptMode::from_env();
     let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut i = 0;
@@ -48,6 +51,7 @@ fn main() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--smoke" => smoke = true,
+            "--sharded" => accept_mode = faults::AcceptMode::Sharded,
             "observe" => observe_mode = true,
             "chaos" => chaos_mode = true,
             "bench" => bench_mode = true,
@@ -85,7 +89,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [observe] [all | ext | everything | chaos | bench | fig1a ...] [--quick] [--smoke] [--json PATH]"
+                    "usage: repro [observe] [all | ext | everything | chaos | bench | fig1a ...] [--quick] [--smoke] [--sharded] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -119,11 +123,16 @@ fn main() {
                 eprintln!("baseline {path} failed schema validation: {e}");
                 std::process::exit(1);
             });
-            let checks = experiments::regression_checks(
+            let mut checks = experiments::regression_checks(
                 &baseline,
                 &report,
                 experiments::REGRESSION_TOLERANCE,
             );
+            // The accept A/B gates on the fresh run itself: sharding must
+            // not slow connection establishment or shed throughput.
+            if let Some(ab) = &report.accept_ab {
+                checks.extend(experiments::accept_ab_checks(ab));
+            }
             println!("{}", render_checks(&checks));
             println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
             let failed = checks.iter().filter(|c| !c.pass).count();
@@ -202,7 +211,10 @@ fn main() {
         }
         return;
     }
-    let mut campaign = Campaign::new(scale);
+    let mut campaign = Campaign::with_accept_mode(scale, accept_mode);
+    if accept_mode == faults::AcceptMode::Sharded {
+        println!("accept mode: sharded (per-worker listeners)\n");
+    }
     let mut json_figs = Vec::new();
     let mut csv_out = String::new();
     let mut failures = 0usize;

@@ -25,6 +25,7 @@
 use crate::figure::{Figure, Metric, Series};
 use crate::sweep::sweep;
 use desim::SimDuration;
+use faults::AcceptMode;
 use netsim::LinkConfig;
 use serversim::{ServerArch, TestbedConfig};
 use std::collections::HashMap;
@@ -110,6 +111,9 @@ pub const BEST_SMP_HTTPD: ServerArch = ServerArch::Threaded { pool: 4096 };
 /// A memoising experiment campaign.
 pub struct Campaign {
     scale: Scale,
+    /// Accept path for every event-driven sweep in this campaign: the
+    /// paper's single-acceptor handoff (default) or per-worker sharding.
+    accept_mode: AcceptMode,
     cache: HashMap<(String, usize, LinkSetup), Series>,
 }
 
@@ -126,14 +130,27 @@ pub const EXTENSION_IDS: [&str; 3] = ["ext_staged", "ext_bandwidth", "ext_stabil
 
 impl Campaign {
     pub fn new(scale: Scale) -> Campaign {
+        Campaign::with_accept_mode(scale, AcceptMode::Handoff)
+    }
+
+    /// A campaign whose event-driven sweeps all run with the given accept
+    /// mode — `repro --sharded` builds one of these so fig4/fig7–fig10 can
+    /// be compared across accept architectures. The memo cache is private
+    /// to the campaign, so handoff and sharded results never mix.
+    pub fn with_accept_mode(scale: Scale, accept_mode: AcceptMode) -> Campaign {
         Campaign {
             scale,
+            accept_mode,
             cache: HashMap::new(),
         }
     }
 
     pub fn scale(&self) -> &Scale {
         &self.scale
+    }
+
+    pub fn accept_mode(&self) -> AcceptMode {
+        self.accept_mode
     }
 
     fn config(
@@ -144,6 +161,7 @@ impl Campaign {
         clients: u32,
     ) -> TestbedConfig {
         let mut cfg = TestbedConfig::paper_default(server, cpus, links.links()[0]);
+        cfg.accept_mode = self.accept_mode;
         cfg.links = links.links();
         cfg.num_clients = clients;
         cfg.duration = self.scale.duration;
@@ -454,6 +472,20 @@ mod tests {
         assert_eq!(LinkSetup::Gbit1.links().len(), 1);
         assert_eq!(LinkSetup::Mbit100x2.links().len(), 2);
         assert!((LinkSetup::Mbit100.links()[0].capacity_bps - 12.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sharded_campaign_propagates_mode_into_configs() {
+        let c = Campaign::with_accept_mode(Scale::quick(), AcceptMode::Sharded);
+        assert_eq!(c.accept_mode(), AcceptMode::Sharded);
+        let cfg = c.config(
+            ServerArch::EventDriven { workers: 2 },
+            4,
+            LinkSetup::Gbit1,
+            60,
+        );
+        assert_eq!(cfg.accept_mode, AcceptMode::Sharded);
+        assert_eq!(Campaign::new(Scale::quick()).accept_mode(), AcceptMode::Handoff);
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub use resilience::{
     render_resilience, run_resilience, PolicyRun, ResilienceReport, ResilienceRun, GOODPUT_FLOOR,
 };
 pub use perfbench::{
-    bench_to_json, parse_bench_json, regression_checks, render_bench, run_bench, BenchReport,
-    BenchResult, BENCH_BASELINE_PATH, BENCH_SCHEMA, REGRESSION_TOLERANCE,
+    accept_ab_checks, bench_to_json, parse_bench_json, regression_checks, render_bench,
+    run_accept_ab, run_bench, AbSide, AcceptAb, BenchReport, BenchResult, BENCH_BASELINE_PATH,
+    BENCH_SCHEMA, REGRESSION_TOLERANCE,
 };
 pub use checks::{check_figure, render_checks, Check};
 pub use figure::{Figure, Metric, Series};

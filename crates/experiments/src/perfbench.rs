@@ -46,12 +46,54 @@ pub struct BenchResult {
     pub duration_s: f64,
 }
 
+/// One side of the accept-path A/B: the nio server in one accept mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbSide {
+    /// `handoff` or `sharded`.
+    pub mode: String,
+    /// Mean / p99 connection-establishment time observed by the clients.
+    pub connect_mean_us: f64,
+    pub connect_p99_us: f64,
+    pub replies_per_sec: f64,
+    /// Connections established (connect-time histogram population).
+    pub conns: u64,
+    pub errors: u64,
+}
+
+/// The handoff-vs-sharded accept-path A/B on the live nio server: same
+/// workload, same worker count, only the accept architecture differs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptAb {
+    pub workers: usize,
+    pub handoff: AbSide,
+    pub sharded: AbSide,
+}
+
+impl AcceptAb {
+    /// Fractional connect-time change, sharded vs handoff (negative =
+    /// sharded connects faster).
+    pub fn connect_delta_frac(&self) -> f64 {
+        (self.sharded.connect_mean_us - self.handoff.connect_mean_us)
+            / self.handoff.connect_mean_us.max(1e-9)
+    }
+
+    /// Fractional replies/s change, sharded vs handoff (positive =
+    /// sharded serves more).
+    pub fn rps_delta_frac(&self) -> f64 {
+        (self.sharded.replies_per_sec - self.handoff.replies_per_sec)
+            / self.handoff.replies_per_sec.max(1e-9)
+    }
+}
+
 /// Everything `repro bench` measures and serialises.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// `paper` or `smoke`.
     pub scale: String,
     pub results: Vec<BenchResult>,
+    /// The accept-path A/B. `None` only when parsed from a baseline
+    /// written before the section existed.
+    pub accept_ab: Option<AcceptAb>,
 }
 
 /// Concurrency is fixed (the regression guard compares like with like);
@@ -147,6 +189,117 @@ fn best_trial(
     best.expect("at least one trial")
 }
 
+/// Workers for the accept A/B: sharding needs at least two shards to be a
+/// different architecture from handoff.
+const AB_WORKERS: usize = 2;
+
+/// Measure the nio server in one accept mode; best-of-N by replies/s,
+/// reporting that trial's connect-time distribution.
+fn ab_side(
+    mode: nioserver::AcceptMode,
+    content: &Arc<ContentStore>,
+    files: &FileSet,
+    duration: Duration,
+    trials: usize,
+) -> AbSide {
+    let mut best: Option<AbSide> = None;
+    for _ in 0..trials {
+        let server = nioserver::NioServer::start(nioserver::NioConfig {
+            workers: AB_WORKERS,
+            selector: nioserver::SelectorKind::Epoll,
+            accept: mode,
+            shed_watermark: None,
+            lifecycle: httpcore::LifecyclePolicy::default(),
+            content: Arc::clone(content),
+        })
+        .expect("start nio server for accept A/B");
+        let report = loadgen::run(&bench_load(server.addr(), duration), files);
+        server.shutdown();
+        let wall = report.wall.as_secs_f64().max(1e-9);
+        let side = AbSide {
+            mode: mode.label().to_string(),
+            connect_mean_us: report.connect_time_us.mean(),
+            connect_p99_us: report.connect_time_us.quantile(0.99) as f64,
+            replies_per_sec: report.replies as f64 / wall,
+            conns: report.connect_time_us.count(),
+            errors: report.errors.client_timeout
+                + report.errors.connection_reset
+                + report.errors.connection_refused
+                + report.errors.socket_error,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| side.replies_per_sec > b.replies_per_sec)
+        {
+            best = Some(side);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+/// The accept-path A/B: identical workload against the nio server in
+/// handoff and sharded modes.
+pub fn run_accept_ab(smoke: bool) -> AcceptAb {
+    let files = bench_files();
+    let content = Arc::new(ContentStore::from_fileset(&files));
+    let duration = Duration::from_secs_f64(if smoke { SMOKE_SECS } else { FULL_SECS });
+    let trials = if smoke { SMOKE_TRIALS } else { FULL_TRIALS };
+    AcceptAb {
+        workers: AB_WORKERS,
+        handoff: ab_side(
+            nioserver::AcceptMode::Handoff,
+            &content,
+            &files,
+            duration,
+            trials,
+        ),
+        sharded: ab_side(
+            nioserver::AcceptMode::Sharded,
+            &content,
+            &files,
+            duration,
+            trials,
+        ),
+    }
+}
+
+/// Gate on the fresh A/B itself (no baseline needed): the sharded accept
+/// path must not be slower to establish connections than the handoff path
+/// (generous slack absorbs loopback scheduler noise), must not regress
+/// replies/s, and both sides must be error-free.
+pub fn accept_ab_checks(ab: &AcceptAb) -> Vec<Check> {
+    let connect_ceiling = ab.handoff.connect_mean_us * 1.5 + 100.0;
+    vec![
+        Check::new(
+            "bench: sharded connect time <= handoff (with noise slack)",
+            ab.sharded.connect_mean_us <= connect_ceiling,
+            format!(
+                "handoff {:.1}us, sharded {:.1}us, ceiling {:.1}us",
+                ab.handoff.connect_mean_us, ab.sharded.connect_mean_us, connect_ceiling
+            ),
+        ),
+        Check::new(
+            "bench: sharded replies/s has no regression vs handoff",
+            ab.sharded.replies_per_sec
+                >= ab.handoff.replies_per_sec * (1.0 - REGRESSION_TOLERANCE),
+            format!(
+                "handoff {:.0}/s, sharded {:.0}/s ({:+.1}%)",
+                ab.handoff.replies_per_sec,
+                ab.sharded.replies_per_sec,
+                ab.rps_delta_frac() * 100.0
+            ),
+        ),
+        Check::new(
+            "bench: accept A/B is error-free",
+            ab.handoff.errors == 0 && ab.sharded.errors == 0,
+            format!(
+                "handoff {} errors, sharded {} errors",
+                ab.handoff.errors, ab.sharded.errors
+            ),
+        ),
+    ]
+}
+
 /// Run the live bench: both architectures, fixed concurrency, loopback.
 pub fn run_bench(smoke: bool) -> BenchReport {
     let files = bench_files();
@@ -159,6 +312,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
             content: Arc::clone(&content),
@@ -197,6 +351,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
     BenchReport {
         scale: if smoke { "smoke" } else { "paper" }.to_string(),
         results,
+        accept_ab: Some(run_accept_ab(smoke)),
     }
 }
 
@@ -213,12 +368,45 @@ pub fn render_bench(report: &BenchReport) -> String {
             r.arch, r.replies_per_sec, r.p50_ms, r.p99_ms, r.bytes_per_sec, r.replies, r.errors
         ));
     }
+    if let Some(ab) = &report.accept_ab {
+        out.push_str(&format!(
+            "\naccept A/B (nio, {} workers):\n{:<14} {:>13} {:>13} {:>10} {:>8} {:>7}\n",
+            ab.workers, "mode", "conn-mean(us)", "conn-p99(us)", "replies/s", "conns", "errors"
+        ));
+        for side in [&ab.handoff, &ab.sharded] {
+            out.push_str(&format!(
+                "{:<14} {:>13.1} {:>13.0} {:>10.0} {:>8} {:>7}\n",
+                side.mode,
+                side.connect_mean_us,
+                side.connect_p99_us,
+                side.replies_per_sec,
+                side.conns,
+                side.errors
+            ));
+        }
+        out.push_str(&format!(
+            "delta (sharded vs handoff): connect {:+.1}%, replies/s {:+.1}%\n",
+            ab.connect_delta_frac() * 100.0,
+            ab.rps_delta_frac() * 100.0
+        ));
+    }
     out
+}
+
+fn ab_side_to_json(side: &AbSide) -> Json {
+    Json::obj(vec![
+        ("mode", Json::Str(side.mode.clone())),
+        ("connect_mean_us", Json::Num(side.connect_mean_us)),
+        ("connect_p99_us", Json::Num(side.connect_p99_us)),
+        ("replies_per_sec", Json::Num(side.replies_per_sec)),
+        ("conns", Json::Num(side.conns as f64)),
+        ("errors", Json::Num(side.errors as f64)),
+    ])
 }
 
 /// Serialise to the `BENCH_live.json` document.
 pub fn bench_to_json(report: &BenchReport) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str(BENCH_SCHEMA.to_string())),
         ("scale", Json::Str(report.scale.clone())),
         (
@@ -243,7 +431,20 @@ pub fn bench_to_json(report: &BenchReport) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(ab) = &report.accept_ab {
+        fields.push((
+            "accept_ab",
+            Json::obj(vec![
+                ("workers", Json::Num(ab.workers as f64)),
+                ("handoff", ab_side_to_json(&ab.handoff)),
+                ("sharded", ab_side_to_json(&ab.sharded)),
+                ("connect_delta_frac", Json::Num(ab.connect_delta_frac())),
+                ("rps_delta_frac", Json::Num(ab.rps_delta_frac())),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 // ---------------------------------------------------------------------
@@ -285,7 +486,39 @@ pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
         }
         results.push(r);
     }
-    Ok(BenchReport { scale, results })
+    // Optional: baselines written before the accept A/B existed omit it.
+    let accept_ab = match get(doc, "accept_ab") {
+        Err(_) => None,
+        Ok(v) => {
+            let obj = v.as_object().ok_or("'accept_ab' must be an object")?;
+            Some(AcceptAb {
+                workers: get_num(obj, "workers")? as usize,
+                handoff: parse_ab_side(get(obj, "handoff")?)?,
+                sharded: parse_ab_side(get(obj, "sharded")?)?,
+            })
+        }
+    };
+    Ok(BenchReport {
+        scale,
+        results,
+        accept_ab,
+    })
+}
+
+fn parse_ab_side(v: &JsonValue) -> Result<AbSide, String> {
+    let obj = v.as_object().ok_or("A/B side must be an object")?;
+    let side = AbSide {
+        mode: get_str(obj, "mode")?.to_string(),
+        connect_mean_us: get_num(obj, "connect_mean_us")?,
+        connect_p99_us: get_num(obj, "connect_p99_us")?,
+        replies_per_sec: get_num(obj, "replies_per_sec")?,
+        conns: get_num(obj, "conns")? as u64,
+        errors: get_num(obj, "errors")? as u64,
+    };
+    if side.replies_per_sec <= 0.0 {
+        return Err(format!("{}: replies_per_sec must be positive", side.mode));
+    }
+    Ok(side)
 }
 
 /// The CI gate: every architecture present in the baseline must still be
@@ -574,9 +807,32 @@ impl<'a> JsonParser<'a> {
 mod tests {
     use super::*;
 
+    fn fake_ab() -> AcceptAb {
+        AcceptAb {
+            workers: 2,
+            handoff: AbSide {
+                mode: "handoff".to_string(),
+                connect_mean_us: 120.0,
+                connect_p99_us: 800.0,
+                replies_per_sec: 9_500.0,
+                conns: 900,
+                errors: 0,
+            },
+            sharded: AbSide {
+                mode: "sharded".to_string(),
+                connect_mean_us: 90.0,
+                connect_p99_us: 600.0,
+                replies_per_sec: 9_800.0,
+                conns: 920,
+                errors: 0,
+            },
+        }
+    }
+
     fn fake_report() -> BenchReport {
         BenchReport {
             scale: "paper".to_string(),
+            accept_ab: Some(fake_ab()),
             results: vec![
                 BenchResult {
                     arch: "nio-epoll-w1".to_string(),
@@ -614,6 +870,41 @@ mod tests {
         assert_eq!(parsed.results[0].arch, "nio-epoll-w1");
         assert!((parsed.results[0].replies_per_sec - 10_000.0).abs() < 1e-6);
         assert_eq!(parsed.results[1].replies, 48_000);
+        let ab = parsed.accept_ab.expect("accept A/B survives the roundtrip");
+        assert_eq!(ab.workers, 2);
+        assert_eq!(ab.handoff.mode, "handoff");
+        assert_eq!(ab.sharded.conns, 920);
+        assert!((ab.sharded.connect_mean_us - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baselines_without_accept_ab_still_validate() {
+        // A document written before the A/B section existed must keep
+        // parsing — the committed baseline stays valid until regenerated.
+        let mut report = fake_report();
+        report.accept_ab = None;
+        let text = bench_to_json(&report).render();
+        let parsed = parse_bench_json(&text).expect("legacy document");
+        assert!(parsed.accept_ab.is_none());
+        assert_eq!(parsed.results.len(), 2);
+    }
+
+    #[test]
+    fn accept_ab_gate_fires_on_regressions() {
+        let ab = fake_ab();
+        assert!(accept_ab_checks(&ab).iter().all(|c| c.pass));
+        // Sharded connects far slower than handoff: fail.
+        let mut slow = fake_ab();
+        slow.sharded.connect_mean_us = slow.handoff.connect_mean_us * 2.0 + 200.0;
+        assert!(accept_ab_checks(&slow).iter().any(|c| !c.pass));
+        // Sharded throughput collapse: fail.
+        let mut down = fake_ab();
+        down.sharded.replies_per_sec = down.handoff.replies_per_sec * 0.5;
+        assert!(accept_ab_checks(&down).iter().any(|c| !c.pass));
+        // Errors on either side: fail.
+        let mut err = fake_ab();
+        err.handoff.errors = 1;
+        assert!(accept_ab_checks(&err).iter().any(|c| !c.pass));
     }
 
     #[test]
@@ -672,8 +963,15 @@ mod tests {
             assert!(r.bytes_per_sec > 0.0);
             assert_eq!(r.errors, 0, "{}: {} errors", r.arch, r.errors);
         }
+        let ab = report.accept_ab.as_ref().expect("smoke bench runs the A/B");
+        for side in [&ab.handoff, &ab.sharded] {
+            assert!(side.conns > 0, "{}: no connections measured", side.mode);
+            assert!(side.replies_per_sec > 0.0);
+            assert_eq!(side.errors, 0, "{}: {} errors", side.mode, side.errors);
+        }
         // And the emitted document validates against its own schema.
         let parsed = parse_bench_json(&bench_to_json(&report).render()).expect("schema");
         assert_eq!(parsed.results.len(), 2);
+        assert!(parsed.accept_ab.is_some());
     }
 }

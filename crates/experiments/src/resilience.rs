@@ -150,6 +150,7 @@ impl Server {
                 nioserver::NioServer::start(nioserver::NioConfig {
                     workers: 1,
                     selector: nioserver::SelectorKind::Epoll,
+                    accept: nioserver::AcceptMode::from_env(),
                     shed_watermark: None,
                     lifecycle,
                     content,

@@ -19,5 +19,5 @@ pub mod recovery;
 
 pub use live::{run_plan, FaultTarget, PlanOutcome};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, PLAN_NAMES};
-pub use policy::{AdmissionControl, DrainReport, RetryPolicy};
+pub use policy::{AcceptMode, AdmissionControl, DrainReport, RetryPolicy, ACCEPT_MODE_ENV};
 pub use recovery::FaultImpact;

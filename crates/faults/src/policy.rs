@@ -3,6 +3,48 @@
 //! accounting for graceful shutdown. All knobs default to *off* so paper
 //! figures are reproduced byte-for-byte unless a caller opts in.
 
+/// How new connections travel from the kernel to a worker.
+///
+/// `Handoff` is the paper's nio architecture: one acceptor thread accepts
+/// every connection and hands it to a worker (a channel send plus a
+/// cross-thread wake per connection). `Sharded` is the shared-nothing
+/// alternative: every worker owns its own `SO_REUSEPORT` listener (live) or
+/// per-worker accept queue (sim) and accepts directly in its own loop — no
+/// acceptor thread, no transfer, no wake. Both layers understand the same
+/// enum so one flag sweeps one figure in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptMode {
+    /// Single acceptor thread distributing to workers (the paper's nio).
+    #[default]
+    Handoff,
+    /// Per-worker listeners/queues; each worker accepts for itself.
+    Sharded,
+}
+
+/// Environment variable the harnesses read to pick the accept mode, so one
+/// CI matrix axis flips every existing test/driver onto the sharded path.
+pub const ACCEPT_MODE_ENV: &str = "REPRO_ACCEPT_MODE";
+
+impl AcceptMode {
+    /// Stable label used in series names, JSON exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AcceptMode::Handoff => "handoff",
+            AcceptMode::Sharded => "sharded",
+        }
+    }
+
+    /// Read the mode from `REPRO_ACCEPT_MODE` (`handoff` | `sharded`,
+    /// case-insensitive). Unset or unrecognised values fall back to
+    /// `Handoff`, the paper-faithful default.
+    pub fn from_env() -> AcceptMode {
+        match std::env::var(ACCEPT_MODE_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("sharded") => AcceptMode::Sharded,
+            _ => AcceptMode::Handoff,
+        }
+    }
+}
+
 /// Server-side admission control. When enabled, a server refuses new
 /// connections *explicitly* (the client observes `conn-refused`, distinct
 /// from a reset) instead of silently dropping SYNs to be retried.

@@ -202,6 +202,19 @@ impl CpuCosts {
         SimDuration::from_nanos(nanos as u64)
     }
 
+    /// Accept cost on the event-driven server when every worker owns its
+    /// own listener (`SO_REUSEPORT` sharding). The accept itself runs on
+    /// the accepting worker's lane, so it enjoys the same pinned-affinity
+    /// contention discount as the staged server's stages: the listener is
+    /// private to the worker and no cross-thread handoff occurs. On a
+    /// uniprocessor both multipliers are 1.0, so UP figures are
+    /// bit-identical across modes.
+    pub fn sharded_accept_service(&self, cpus: usize) -> SimDuration {
+        let nanos =
+            self.accept.as_nanos() as f64 * self.jvm_factor * self.smp_multiplier_pinned(cpus);
+        SimDuration::from_nanos(nanos as u64)
+    }
+
     /// Cost of refusing one connection (kernel work, any CPU).
     pub fn reject_service(&self, cpus: usize) -> SimDuration {
         let nanos = self.reject.as_nanos() as f64 * self.smp_multiplier(cpus);
@@ -326,6 +339,18 @@ mod tests {
         assert!(c.threaded_accept_service(4096, 4) > SimDuration::ZERO);
         assert!(c.event_accept_service(1) > SimDuration::ZERO);
         assert!(c.reject_service(4) > c.reject_service(1));
+    }
+
+    #[test]
+    fn sharded_accept_matches_handoff_on_up_and_is_cheaper_on_smp() {
+        let c = CpuCosts::default();
+        // Uniprocessor: no contention in either mode, identical cost —
+        // this is what keeps the paper's UP figures bit-identical.
+        assert_eq!(c.sharded_accept_service(1), c.event_accept_service(1));
+        // SMP: the per-worker listener avoids the shared acceptor's full
+        // contention multiplier.
+        assert!(c.sharded_accept_service(4) < c.event_accept_service(4));
+        assert!(c.sharded_accept_service(4) > SimDuration::ZERO);
     }
 }
 

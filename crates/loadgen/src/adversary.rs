@@ -388,6 +388,7 @@ mod tests {
         nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: LifecyclePolicy::hardened(
                 Duration::from_millis(400),
@@ -437,6 +438,7 @@ mod tests {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
             content: content(),

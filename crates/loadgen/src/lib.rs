@@ -545,6 +545,7 @@ mod tests {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
             content,
@@ -620,6 +621,7 @@ mod tests {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 2,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
             content,

@@ -30,6 +30,7 @@ fn start(selector: SelectorKind, content: &Arc<ContentStore>) -> NioServer {
     NioServer::start(NioConfig {
         workers: 1,
         selector,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(content),

@@ -262,6 +262,131 @@ pub fn stage_labels() -> Vec<&'static str> {
     Stage::ALL.iter().map(|s| s.label()).collect()
 }
 
+/// One accept shard's live counters: lifetime accepted connections plus the
+/// instantaneous open-connection occupancy. Hot-path updates are relaxed
+/// atomics through an `Arc` the worker holds directly, so per-accept cost is
+/// identical to the existing `NioStats` counters — no registry lookup, no
+/// lock.
+#[derive(Debug, Default)]
+pub struct ShardCell {
+    accepted: AtomicU64,
+    open: AtomicU64,
+}
+
+impl ShardCell {
+    #[inline]
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Saturating: a racy teardown can never publish negative occupancy.
+    #[inline]
+    pub fn on_close(&self) {
+        let _ = self
+            .open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Bulk close (worker crash drops its whole connection set at once).
+    #[inline]
+    pub fn close_many(&self, n: u64) {
+        let _ = self
+            .open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-shard accepted/occupancy snapshot (one row per registered shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSample {
+    pub shard: usize,
+    pub accepted: u64,
+    pub open: u64,
+}
+
+/// Registry of accept shards for the sharded accept path.
+///
+/// Registration (server start, worker restart) takes a lock; the per-accept
+/// hot path never touches the registry — each worker updates its own
+/// [`ShardCell`] through the `Arc` returned at registration. In handoff mode
+/// the registry simply stays empty and costs nothing.
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    cells: std::sync::Mutex<Vec<std::sync::Arc<ShardCell>>>,
+}
+
+impl ShardGauges {
+    pub fn new() -> Self {
+        ShardGauges::default()
+    }
+
+    /// Register a new shard; the returned cell is the shard's private
+    /// counter handle. Shard ids are assigned in registration order.
+    pub fn register_shard(&self) -> std::sync::Arc<ShardCell> {
+        let cell = std::sync::Arc::new(ShardCell::default());
+        self.cells.lock().unwrap().push(std::sync::Arc::clone(&cell));
+        cell
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.cells.lock().unwrap().len()
+    }
+
+    /// Instantaneous per-shard readings, in registration order.
+    pub fn snapshot(&self) -> Vec<ShardSample> {
+        self.cells
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(shard, c)| ShardSample {
+                shard,
+                accepted: c.accepted(),
+                open: c.open(),
+            })
+            .collect()
+    }
+
+    /// Sum of lifetime accepts across every shard — must equal the server's
+    /// total accepted counter (the shard-balance regression test's
+    /// conservation law).
+    pub fn total_accepted(&self) -> u64 {
+        self.cells.lock().unwrap().iter().map(|c| c.accepted()).sum()
+    }
+
+    /// Max/min lifetime-accepted ratio across shards that accepted anything;
+    /// 1.0 when fewer than two shards have traffic. The shard-balance bound.
+    pub fn balance_ratio(&self) -> f64 {
+        let counts: Vec<u64> = self
+            .cells
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|c| c.accepted())
+            .filter(|&n| n > 0)
+            .collect();
+        if counts.len() < 2 {
+            return 1.0;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        max / min
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,10 @@ pub mod report;
 pub mod stage;
 
 pub use export::{to_jsonl, ExportMeta};
-pub use gauge::{spawn_sampler, GaugeKind, GaugeLog, GaugeSample, LiveGauges};
+pub use gauge::{
+    spawn_sampler, GaugeKind, GaugeLog, GaugeSample, LiveGauges, ShardCell, ShardGauges,
+    ShardSample,
+};
 pub use lifecycle::{EndCause, EndTally, LiveEnds};
 pub use record::{RequestBreakdown, RequestTracker, Span, SpanLog};
 pub use stage::{EndReason, Stage};

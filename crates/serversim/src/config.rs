@@ -3,7 +3,7 @@
 
 use clientsim::ClientConfig;
 use desim::SimDuration;
-use faults::{AdmissionControl, FaultPlan};
+use faults::{AcceptMode, AdmissionControl, FaultPlan};
 use hostsim::CpuCosts;
 use netsim::LinkConfig;
 use workload::SurgeConfig;
@@ -67,6 +67,10 @@ impl ServerArch {
 #[derive(Debug, Clone)]
 pub struct TestbedConfig {
     pub server: ServerArch,
+    /// How accepted connections reach workers on the event-driven server:
+    /// the paper's single-acceptor handoff, or per-worker `SO_REUSEPORT`
+    /// shards. Ignored by the threaded and staged architectures.
+    pub accept_mode: AcceptMode,
     /// Processors on the SUT (1 = the paper's UP kernel, 4 = SMP).
     pub num_cpus: usize,
     /// Listen backlog; SYNs beyond this are dropped (client retransmits).
@@ -147,6 +151,7 @@ impl TestbedConfig {
     pub fn paper_default(server: ServerArch, num_cpus: usize, link: LinkConfig) -> Self {
         TestbedConfig {
             server,
+            accept_mode: AcceptMode::Handoff,
             num_cpus,
             backlog: 511,
             server_idle_timeout: match server {

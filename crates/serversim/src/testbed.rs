@@ -22,6 +22,7 @@ use crate::config::{ServerArch, TestbedConfig};
 use crate::event_driven::{AcceptOutcome, EventServer};
 use crate::threaded::{SynOutcome, ThreadedServer};
 use clientsim::{Client, ClientAction, ClientId, ClientMetrics};
+use faults::AcceptMode;
 use desim::{Ctx, Engine, EventId, Model, Rng, RunOutcome, SimDuration, SimTime, Trace, TraceLevel};
 use hostsim::{Cpu, JobToken, LaneId};
 use netsim::{CloseKind, ConnId, Connection, FlowId, PsLink};
@@ -232,13 +233,11 @@ impl Testbed {
                     let p = cpu.add_lane(1); // unused
                     let s1 = cpu.add_lane(1); // unused
                     let s2 = cpu.add_lane(1); // unused
-                    (
-                        w,
-                        p,
-                        s1,
-                        s2,
-                        ServerModel::Event(EventServer::new(workers, cfg.backlog)),
-                    )
+                    let ev = match cfg.accept_mode {
+                        AcceptMode::Handoff => EventServer::new(workers, cfg.backlog),
+                        AcceptMode::Sharded => EventServer::new_sharded(workers, cfg.backlog),
+                    };
+                    (w, p, s1, s2, ServerModel::Event(ev))
                 }
                 ServerArch::Threaded { pool } => {
                     let w = cpu.add_lane(1); // unused
@@ -879,10 +878,18 @@ impl Model for Testbed {
                         }
                         SynOutcome::Refused => self.refuse_syn(ctx, conn),
                     },
-                    ServerModel::Event(e) | ServerModel::Staged(e) => match e.on_syn() {
+                    ServerModel::Event(e) | ServerModel::Staged(e) => match e.on_syn(conn) {
                         AcceptOutcome::Accept => {
-                            let service = self.cfg.costs.event_accept_service(cpus);
-                            self.submit_cpu(ctx, self.acceptor_lane, service, Job::Accept(conn));
+                            // Handoff: the dedicated acceptor thread (a cap-1
+                            // lane) accepts every connection. Sharded: the
+                            // owning worker accepts on its own lane at the
+                            // pinned-affinity cost — no acceptor serialization.
+                            let (lane, service) = if e.mode() == AcceptMode::Sharded {
+                                (self.worker_lane, self.cfg.costs.sharded_accept_service(cpus))
+                            } else {
+                                (self.acceptor_lane, self.cfg.costs.event_accept_service(cpus))
+                            };
+                            self.submit_cpu(ctx, lane, service, Job::Accept(conn));
                         }
                         AcceptOutcome::Dropped if refuse_on_full => self.refuse_syn(ctx, conn),
                         AcceptOutcome::Dropped => {
@@ -1127,7 +1134,7 @@ impl Model for Testbed {
                             if alive {
                                 e.on_accepted(conn);
                             } else {
-                                e.abandon_accept();
+                                e.abandon_accept(conn);
                             }
                         }
                         if alive {
@@ -1390,6 +1397,12 @@ impl Model for Testbed {
                         let count =
                             ((n as f64 * fraction).round() as usize).clamp(1, n);
                         self.cpu.set_lane_cap(lane, (n - count).max(1));
+                        // Sharded accept: a dead worker's private listen
+                        // queue is adopted by a survivor (the live layer's
+                        // listener-fd takeover), so queued accepts survive.
+                        if let ServerModel::Event(e) = &mut self.server {
+                            e.crash_shards(count);
+                        }
                     }
                     faults::FaultKind::ServerStall => {
                         self.accepts_stalled = true;
@@ -1481,6 +1494,10 @@ impl Model for Testbed {
                                 }
                             };
                             self.cpu.set_lane_cap(lane, n);
+                            // Restarted workers rebind their own listeners.
+                            if let ServerModel::Event(e) = &mut self.server {
+                                e.revive_shards(n);
+                            }
                             // Freed capacity can start queued work right now.
                             let started = self.cpu.kick(ctx.now());
                             for (token, finish, _service) in started {

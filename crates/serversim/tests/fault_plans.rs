@@ -3,7 +3,7 @@
 //! and plan execution never corrupts accounting.
 
 use desim::SimDuration;
-use faults::{FaultEvent, FaultKind, FaultPlan};
+use faults::{AcceptMode, FaultEvent, FaultKind, FaultPlan};
 use metrics::Histogram;
 use netsim::LinkConfig;
 use proptest::prelude::*;
@@ -161,5 +161,60 @@ proptest! {
         prop_assert!(t.replies_received <= t.requests_sent,
             "replies {} > requests {}", t.replies_received, t.requests_sent);
         prop_assert!(t.replies_received > 0, "run must survive the plan");
+    }
+
+    /// Any generated WorkerCrash plan replayed against the sharded accept
+    /// path: the replay is bit-identical, the port stays reachable (clients
+    /// keep getting replies through and after the crash window), and no
+    /// already-accepted connection is lost — every establishment the
+    /// clients measured is accounted to exactly one shard's accept
+    /// counter, crash takeover included.
+    #[test]
+    fn sharded_worker_crash_loses_no_accepted_connections(
+        fraction_sel in 1u32..10,
+        restart in any::<bool>(),
+        start_s in 2u64..8,
+        dur_s in 1u64..6,
+        seed in 0u64..10_000,
+    ) {
+        let plan = FaultPlan::new(
+            "sharded-crash",
+            vec![FaultEvent {
+                start_ns: start_s * SEC,
+                duration_ns: dur_s * SEC,
+                kind: FaultKind::WorkerCrash {
+                    fraction: 0.1 * fraction_sel as f64,
+                    restart,
+                },
+            }],
+        );
+        prop_assert!(plan.validate(1).is_ok());
+        let mut cfg = cfg_with(plan, ServerArch::EventDriven { workers: 4 }, seed);
+        cfg.accept_mode = AcceptMode::Sharded;
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        prop_assert_eq!(
+            digest(&a), digest(&b),
+            "same seed + crash plan must replay bit-identically in sharded mode"
+        );
+
+        let t = &a.metrics.traffic;
+        prop_assert!(t.replies_received > 0, "port must stay reachable through the crash");
+
+        let ev = a.event_server().expect("event-driven arch");
+        let shards = ev.accepted_per_shard();
+        prop_assert_eq!(shards.len(), 4, "one accept counter per worker shard");
+        let shard_total: u64 = shards.iter().sum();
+        // Shard counters cover the whole run (warmup included) while the
+        // client-side establishment counter only covers the measuring
+        // window, so the shard total must dominate: a takeover that
+        // dropped an accepted connection would break this.
+        prop_assert!(
+            shard_total >= t.connections_established,
+            "shards accepted {} < clients established {} — accepted connections were lost",
+            shard_total,
+            t.connections_established
+        );
+        prop_assert!(shard_total > 0, "sharded path must actually accept");
     }
 }

@@ -52,6 +52,7 @@ fn main() {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
             selector: nioserver::SelectorKind::Epoll,
+            accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
             content: Arc::clone(&content),

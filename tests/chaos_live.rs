@@ -31,6 +31,7 @@ fn start_nio(workers: usize, shed: Option<u64>) -> nioserver::NioServer {
     nioserver::NioServer::start(nioserver::NioConfig {
         workers,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: shed,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content: content(),

@@ -61,6 +61,7 @@ fn reset_contrast_holds_in_both_layers() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(&content),
@@ -131,6 +132,7 @@ fn exhaustion_contrast_holds_in_both_layers() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::clone(&content),

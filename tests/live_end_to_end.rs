@@ -40,6 +40,7 @@ fn one_worker_reactor_sustains_many_live_clients() {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content,
@@ -61,6 +62,7 @@ fn poll_backend_works_like_epoll() {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 2,
         selector: nioserver::SelectorKind::Poll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content,
@@ -97,6 +99,7 @@ fn live_reset_contrast_between_architectures() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content,
@@ -143,6 +146,7 @@ fn live_pool_exhaustion_throttles_throughput() {
     let nio = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content,

@@ -94,6 +94,7 @@ fn live_capture() -> String {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
         content,
@@ -224,6 +225,7 @@ fn refused_end_reason_reaches_both_exporters_in_both_layers() {
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 1,
         selector: nioserver::SelectorKind::Epoll,
+        accept: nioserver::AcceptMode::from_env(),
         shed_watermark: Some(0),
         lifecycle: httpcore::LifecyclePolicy::default(),
         content: Arc::new(ContentStore::from_fileset(&files)),
