@@ -9,6 +9,12 @@
 //!   repro observe fig2b       # re-run one point with full observability
 //!                             # and explain why the curve bends there
 //!                             # (--json dumps the capture as JSONL)
+//!   repro observe capacity    # USL (λ, σ, κ) fits over worker/CPU/pool
+//!                             # sweeps, sim + live; writes
+//!                             # CAPACITY_baseline.json
+//!   repro observe capacity --smoke
+//!                             # short refit: fail when fitted σ or κ
+//!                             # regress beyond tolerance vs the baseline
 //!   repro chaos               # replay every named fault plan against both
 //!                             # architectures; report degradation and
 //!                             # time-to-recover (--smoke: CI subset)
@@ -83,6 +89,7 @@ fn main() {
                 println!("tables:           table-up table-smp");
                 println!("robustness:       sensitivity chaos resilience");
                 println!("performance:      bench");
+                println!("observability:    observe <fig-id> | observe capacity");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
                 println!("extensions:       {}", EXTENSION_IDS.join(" "));
                 std::process::exit(0);
@@ -191,6 +198,40 @@ fn main() {
     ids.dedup();
 
     let scale = if quick { Scale::quick() } else { Scale::paper() };
+    if observe_mode && ids.iter().any(|id| id == "capacity") {
+        // The capacity observatory: USL fits over throughput-vs-parallelism
+        // sweeps in both layers. `--smoke` refits on a short sweep and
+        // gates σ/κ against the committed baseline; a full run rewrites it.
+        let start = std::time::Instant::now();
+        let report = experiments::run_capacity(smoke);
+        println!("{}", experiments::render_capacity(&report));
+        let doc = experiments::capacity_to_json(&report).render();
+        let path = json_path
+            .unwrap_or_else(|| experiments::CAPACITY_BASELINE_PATH.to_string());
+        if smoke {
+            let baseline_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let baseline = experiments::parse_capacity_json(&baseline_text).unwrap_or_else(|e| {
+                eprintln!("baseline {path} failed schema validation: {e}");
+                std::process::exit(1);
+            });
+            let checks = experiments::capacity_checks(&baseline, &report);
+            println!("{}", render_checks(&checks));
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+            let failed = checks.iter().filter(|c| !c.pass).count();
+            if failed > 0 {
+                eprintln!("{failed} capacity check(s) FAILED");
+                std::process::exit(1);
+            }
+        } else {
+            std::fs::write(&path, &doc).expect("write capacity json");
+            println!("wrote {path}");
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        }
+        return;
+    }
     if observe_mode {
         let mut jsonl = String::new();
         for id in &ids {

@@ -9,9 +9,12 @@
 //! * [`sensitivity`] — do the conclusions survive cost perturbations?
 //! * [`perfbench`] — the live loopback bench behind `repro bench` and its
 //!   `BENCH_live.json` regression guard;
+//! * [`capacity`] — the USL capacity observatory behind
+//!   `repro observe capacity` and its `CAPACITY_baseline.json` σ/κ gate;
 //! * [`resilience`] — the adversarial-client survival harness and Fig-3
 //!   lifecycle-policy sweep behind `repro resilience`.
 
+pub mod capacity;
 pub mod catalog;
 pub mod chaos;
 pub mod checks;
@@ -23,6 +26,11 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
 
+pub use capacity::{
+    capacity_checks, capacity_to_json, parse_capacity_json, render_capacity, run_capacity,
+    CapacityCurve, CapacityReport, CAPACITY_BASELINE_PATH, CAPACITY_SCHEMA, KAPPA_TOLERANCE,
+    LIVE_KAPPA_TOLERANCE, LIVE_SIGMA_TOLERANCE, SIGMA_TOLERANCE,
+};
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
 pub use resilience::{

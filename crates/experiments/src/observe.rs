@@ -12,7 +12,10 @@
 use crate::catalog::{LinkSetup, Scale, BEST_SMP_NIO, BEST_UP_HTTPD, BEST_UP_NIO};
 use obs::export::ExportMeta;
 use obs::gauge::GaugeKind;
-use obs::report::{anomaly_notes, end_reason_table, gauge_timeline, stage_table};
+use obs::report::{
+    anomaly_notes, drop_counters_section, end_reason_table, gauge_timeline, hist_table,
+    stage_table,
+};
 use obs::ObsConfig;
 use serversim::{run, ServerArch, Testbed, TestbedConfig};
 
@@ -132,6 +135,8 @@ impl Observation {
         );
         out.push_str("-- where the milliseconds go (completed requests) --\n");
         out.push_str(&stage_table(&obs.requests));
+        out.push_str("\n-- per-stage latency tails (log2 histograms) --\n");
+        out.push_str(&hist_table(obs.requests.hists()));
         out.push_str("\n-- how requests ended --\n");
         out.push_str(&end_reason_table(&obs.requests));
         for kind in [
@@ -153,6 +158,16 @@ impl Observation {
             out.push_str(&note);
             out.push('\n');
         }
+        // Capture-loss accounting last: a lossy capture taints every table
+        // above, so the section leads with a WARNING when anything dropped.
+        let (section, _lossy) = drop_counters_section(
+            obs.spans.dropped(),
+            obs.requests.dropped(),
+            obs.gauges.overflow(),
+            self.testbed.trace.dropped(),
+        );
+        out.push_str("\n-- capture losses --\n");
+        out.push_str(&section);
         out
     }
 
@@ -195,6 +210,10 @@ mod tests {
         assert!(rendered.contains("observe fig2b"));
         assert!(rendered.contains("why the curve bends"));
         assert!(rendered.contains("parse"));
+        assert!(rendered.contains("latency tails"));
+        assert!(rendered.contains("p999"));
+        assert!(rendered.contains("capture losses"));
+        assert!(rendered.contains("trace events dropped"));
         let jsonl = o.to_jsonl();
         let first = jsonl.lines().next().unwrap();
         assert!(first.contains(r#""type":"meta""#));

@@ -44,6 +44,34 @@ pub struct BenchResult {
     pub errors: u64,
     pub clients: usize,
     pub duration_s: f64,
+    /// Server-side per-stage latency percentiles, read from the workers'
+    /// merged [`obs::StageHists`] after the run. Empty when parsed from a
+    /// baseline written before the field existed.
+    pub stages: Vec<StagePercentiles>,
+}
+
+/// p50/p99 of one server-side stage's burst-latency histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePercentiles {
+    /// Stage label (`parse`, `service`, `transfer`).
+    pub stage: String,
+    pub count: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+}
+
+/// Summarise the non-empty stage histograms to report percentiles.
+fn stage_percentiles(h: &obs::StageHists) -> Vec<StagePercentiles> {
+    h.rows()
+        .into_iter()
+        .filter(|(_, hist)| !hist.is_empty())
+        .map(|(label, hist)| StagePercentiles {
+            stage: label.to_string(),
+            count: hist.count(),
+            p50_us: hist.quantile(0.50) as f64 / 1000.0,
+            p99_us: hist.quantile(0.99) as f64 / 1000.0,
+        })
+        .collect()
 }
 
 /// One side of the accept-path A/B: the nio server in one accept mode.
@@ -164,6 +192,7 @@ fn summarise(arch: &str, report: &loadgen::LoadReport) -> BenchResult {
             + report.errors.socket_error,
         clients: BENCH_CLIENTS,
         duration_s: wall,
+        stages: Vec::new(),
     }
 }
 
@@ -318,6 +347,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             content: Arc::clone(&content),
         })
         .expect("start nio server");
+        let hists = server.stage_hists();
         results.push(best_trial(
             "nio-epoll-w1",
             server.addr(),
@@ -326,6 +356,9 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             trials,
         ));
         server.shutdown();
+        // Workers merged their stage histograms on exit; attach the
+        // percentiles (pooled across trials) to this architecture's row.
+        results.last_mut().expect("just pushed").stages = stage_percentiles(&hists.lock());
     }
     {
         // Pool sized to the client count: every connection gets a thread
@@ -338,6 +371,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             content: Arc::clone(&content),
         })
         .expect("start pool server");
+        let hists = server.stage_hists();
         results.push(best_trial(
             &format!("httpd-p{BENCH_CLIENTS}"),
             server.addr(),
@@ -346,6 +380,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
             trials,
         ));
         server.shutdown();
+        results.last_mut().expect("just pushed").stages = stage_percentiles(&hists.lock());
     }
 
     BenchReport {
@@ -366,6 +401,18 @@ pub fn render_bench(report: &BenchReport) -> String {
         out.push_str(&format!(
             "{:<14} {:>10.0} {:>9.2} {:>9.2} {:>12.0} {:>9} {:>7}\n",
             r.arch, r.replies_per_sec, r.p50_ms, r.p99_ms, r.bytes_per_sec, r.replies, r.errors
+        ));
+    }
+    for r in report.results.iter().filter(|r| !r.stages.is_empty()) {
+        let cells: Vec<String> = r
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.1}/{:.1}", s.stage, s.p50_us, s.p99_us))
+            .collect();
+        out.push_str(&format!(
+            "  {} server stages us p50/p99: {}\n",
+            r.arch,
+            cells.join(", ")
         ));
     }
     if let Some(ab) = &report.accept_ab {
@@ -416,7 +463,7 @@ pub fn bench_to_json(report: &BenchReport) -> Json {
                     .results
                     .iter()
                     .map(|r| {
-                        Json::obj(vec![
+                        let mut row = vec![
                             ("arch", Json::Str(r.arch.clone())),
                             ("replies_per_sec", Json::Num(r.replies_per_sec)),
                             ("p50_ms", Json::Num(r.p50_ms)),
@@ -426,7 +473,27 @@ pub fn bench_to_json(report: &BenchReport) -> Json {
                             ("errors", Json::Num(r.errors as f64)),
                             ("clients", Json::Num(r.clients as f64)),
                             ("duration_s", Json::Num(r.duration_s)),
-                        ])
+                        ];
+                        // Optional, like `accept_ab`: old baselines omit it.
+                        if !r.stages.is_empty() {
+                            row.push((
+                                "stages",
+                                Json::Array(
+                                    r.stages
+                                        .iter()
+                                        .map(|sp| {
+                                            Json::obj(vec![
+                                                ("stage", Json::Str(sp.stage.clone())),
+                                                ("count", Json::Num(sp.count as f64)),
+                                                ("p50_us", Json::Num(sp.p50_us)),
+                                                ("p99_us", Json::Num(sp.p99_us)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        Json::obj(row)
                     })
                     .collect(),
             ),
@@ -480,6 +547,25 @@ pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
             errors: get_num(obj, "errors")? as u64,
             clients: get_num(obj, "clients")? as usize,
             duration_s: get_num(obj, "duration_s")?,
+            // Optional: baselines written before stage histograms existed
+            // omit the field and still validate.
+            stages: match get(obj, "stages") {
+                Err(_) => Vec::new(),
+                Ok(v) => {
+                    let rows = v.as_array().ok_or("'stages' must be an array")?;
+                    let mut out = Vec::new();
+                    for sp in rows {
+                        let o = sp.as_object().ok_or("stage row must be an object")?;
+                        out.push(StagePercentiles {
+                            stage: get_str(o, "stage")?.to_string(),
+                            count: get_num(o, "count")? as u64,
+                            p50_us: get_num(o, "p50_us")?,
+                            p99_us: get_num(o, "p99_us")?,
+                        });
+                    }
+                    out
+                }
+            },
         };
         if r.replies_per_sec <= 0.0 {
             return Err(format!("{}: replies_per_sec must be positive", r.arch));
@@ -558,11 +644,12 @@ pub fn regression_checks(
 }
 
 // ---------------------------------------------------------------------
-// Minimal JSON reader (just enough to read our own emitter's output)
+// Minimal JSON reader (just enough to read our own emitters' output;
+// `capacity` reuses it for CAPACITY_baseline.json)
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub(crate) enum JsonValue {
     Null,
     Bool(bool),
     Num(f64),
@@ -572,14 +659,14 @@ enum JsonValue {
 }
 
 impl JsonValue {
-    fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+    pub(crate) fn as_object(&self) -> Option<&[(String, JsonValue)]> {
         match self {
             JsonValue::Object(o) => Some(o),
             _ => None,
         }
     }
 
-    fn as_array(&self) -> Option<&[JsonValue]> {
+    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Array(a) => Some(a),
             _ => None,
@@ -587,21 +674,21 @@ impl JsonValue {
     }
 }
 
-fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+pub(crate) fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field '{key}'"))
 }
 
-fn get_str<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+pub(crate) fn get_str<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
     match get(obj, key)? {
         JsonValue::Str(s) => Ok(s),
         _ => Err(format!("field '{key}' must be a string")),
     }
 }
 
-fn get_num(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+pub(crate) fn get_num(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
     match get(obj, key)? {
         JsonValue::Num(n) if n.is_finite() => Ok(*n),
         JsonValue::Num(_) => Err(format!("field '{key}' must be finite")),
@@ -609,20 +696,20 @@ fn get_num(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
     }
 }
 
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         JsonParser {
             bytes: text.as_bytes(),
             pos: 0,
         }
     }
 
-    fn parse_document(mut self) -> Result<JsonValue, String> {
+    pub(crate) fn parse_document(mut self) -> Result<JsonValue, String> {
         let v = self.parse_value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
@@ -844,6 +931,20 @@ mod tests {
                     errors: 0,
                     clients: 8,
                     duration_s: 6.0,
+                    stages: vec![
+                        StagePercentiles {
+                            stage: "parse".to_string(),
+                            count: 60_000,
+                            p50_us: 4.0,
+                            p99_us: 22.0,
+                        },
+                        StagePercentiles {
+                            stage: "transfer".to_string(),
+                            count: 60_000,
+                            p50_us: 90.0,
+                            p99_us: 900.0,
+                        },
+                    ],
                 },
                 BenchResult {
                     arch: "httpd-p16".to_string(),
@@ -855,6 +956,7 @@ mod tests {
                     errors: 0,
                     clients: 8,
                     duration_s: 6.0,
+                    stages: Vec::new(),
                 },
             ],
         }
@@ -870,6 +972,11 @@ mod tests {
         assert_eq!(parsed.results[0].arch, "nio-epoll-w1");
         assert!((parsed.results[0].replies_per_sec - 10_000.0).abs() < 1e-6);
         assert_eq!(parsed.results[1].replies, 48_000);
+        // Stage percentiles roundtrip where present, stay empty where not.
+        assert_eq!(parsed.results[0].stages.len(), 2);
+        assert_eq!(parsed.results[0].stages[0].stage, "parse");
+        assert!((parsed.results[0].stages[1].p99_us - 900.0).abs() < 1e-9);
+        assert!(parsed.results[1].stages.is_empty());
         let ab = parsed.accept_ab.expect("accept A/B survives the roundtrip");
         assert_eq!(ab.workers, 2);
         assert_eq!(ab.handoff.mode, "handoff");
@@ -962,6 +1069,14 @@ mod tests {
             assert!(r.replies_per_sec > 0.0);
             assert!(r.bytes_per_sec > 0.0);
             assert_eq!(r.errors, 0, "{}: {} errors", r.arch, r.errors);
+            // Both live servers export their worker-merged stage
+            // histograms; a loaded run must populate parse at least.
+            assert!(
+                r.stages.iter().any(|s| s.stage == "parse" && s.count > 0),
+                "{}: no parse-stage histogram in {:?}",
+                r.arch,
+                r.stages
+            );
         }
         let ab = report.accept_ab.as_ref().expect("smoke bench runs the A/B");
         for side in [&ab.handoff, &ab.sharded] {

@@ -48,7 +48,7 @@ use httpcore::{
     ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, ReplyQueue, RequestParser,
     Status, Version,
 };
-use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, ShardCell, ShardGauges};
+use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, ShardCell, ShardGauges, Stage, StageHists};
 use parking_lot::Mutex;
 use reactor::{DeadlineWheel, Event, Interest, Selector, Token, Waker};
 use std::collections::HashMap;
@@ -105,6 +105,11 @@ pub struct NioStats {
     pub alive_workers: AtomicU64,
     /// Fault injections consumed: workers that crashed on request.
     pub worker_crashes: AtomicU64,
+    /// Full O(open) drain sweeps performed across all workers. The drain
+    /// protocol bounds this at two per worker (one when the drain begins,
+    /// one if the deadline cuts stragglers) regardless of how many idle
+    /// connections are open — tests pin that bound.
+    pub drain_full_sweeps: AtomicU64,
 }
 
 /// Shared control state: shutdown/drain flags and fault hooks.
@@ -195,6 +200,7 @@ pub struct NioServer {
     gauges: Arc<LiveGauges>,
     ends: Arc<LiveEnds>,
     shards: Arc<ShardGauges>,
+    hists: Arc<Mutex<StageHists>>,
     links: Arc<Links>,
     next_link_id: AtomicU64,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -223,6 +229,7 @@ impl NioServer {
             gauges: Arc::new(LiveGauges::new()),
             ends: Arc::new(LiveEnds::new()),
             shards: Arc::new(ShardGauges::new()),
+            hists: Arc::new(Mutex::new(StageHists::new())),
             links: Arc::new(Links::default()),
             next_link_id: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
@@ -289,10 +296,11 @@ impl NioServer {
         let stats = Arc::clone(&self.stats);
         let gauges = Arc::clone(&self.gauges);
         let ends = Arc::clone(&self.ends);
+        let hists = Arc::clone(&self.hists);
         let cfg = self.config.clone();
         let handle = std::thread::Builder::new()
             .name(format!("nio-worker-{w}"))
-            .spawn(move || worker_loop(cfg, seat, links, ctl, stats, gauges, ends))?;
+            .spawn(move || worker_loop(cfg, seat, links, ctl, stats, gauges, ends, hists))?;
         self.threads.lock().push(handle);
         Ok(())
     }
@@ -305,6 +313,12 @@ impl NioServer {
     /// Live counters.
     pub fn stats(&self) -> &NioStats {
         &self.stats
+    }
+
+    /// Shared handle to the live counters, for reading after `shutdown` /
+    /// `shutdown_graceful` consume the server.
+    pub fn stats_arc(&self) -> Arc<NioStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Lock-free gauge registry (open connections, ready-set size,
@@ -324,6 +338,14 @@ impl NioServer {
     /// per worker-shard (plus one per restart) in sharded mode.
     pub fn shard_gauges(&self) -> Arc<ShardGauges> {
         Arc::clone(&self.shards)
+    }
+
+    /// Server-side per-stage latency histograms: parse/service/transfer
+    /// burst durations measured inside the workers, merged into this shared
+    /// sink as each worker exits. Clone the `Arc` before `shutdown` (which
+    /// consumes the handle) to read the completed merge afterwards.
+    pub fn stage_hists(&self) -> Arc<Mutex<StageHists>> {
+        Arc::clone(&self.hists)
     }
 
     fn wake_workers(&self) {
@@ -879,6 +901,7 @@ impl std::hash::Hasher for TokenHasher {
 
 type ConnMap = HashMap<usize, Conn, std::hash::BuildHasherDefault<TokenHasher>>;
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     cfg: NioConfig,
     seat: WorkerSeat,
@@ -887,6 +910,7 @@ fn worker_loop(
     stats: Arc<NioStats>,
     gauges: Arc<LiveGauges>,
     ends: Arc<LiveEnds>,
+    hists: Arc<Mutex<StageHists>>,
 ) {
     let WorkerSeat {
         rx,
@@ -921,8 +945,13 @@ fn worker_loop(
     let mut date = httpcore::now_http_date();
     let mut date_refresh = std::time::Instant::now();
     let mut last_ready = 0usize;
-    // Cached copy of the drain deadline (fixed once draining starts).
+    // Cached copy of the drain deadline (fixed once draining starts), and
+    // whether this worker has already paid its drain-start full sweep.
     let mut drain_deadline: Option<Instant> = None;
+    let mut drain_swept = false;
+    // Per-worker stage histograms: recorded locally (nothing shared on the
+    // hot path), merged into the server-wide sink when the worker exits.
+    let mut local_hists = StageHists::new();
     // Per-worker deadline wheel, keyed by connection token (tokens are
     // never reused, so a popped entry whose connection is gone is simply
     // stale — no cancellation bookkeeping on the hot path). When the policy
@@ -957,6 +986,7 @@ fn worker_loop(
                 }
             }
             stats.alive_workers.fetch_sub(1, Ordering::SeqCst);
+            hists.lock().merge(&local_hists);
             return;
         }
         // Adopt freshly accepted connections (handoff mode; a shard's rx
@@ -1126,12 +1156,30 @@ fn worker_loop(
             let flushed_before = conn.bytes_flushed;
             let had_output = conn.wants_write();
             if ev.readable && !dead {
-                dead = handle_readable(conn, &cfg, &stats, &ends, &mut read_buf, &date);
+                dead = handle_readable(
+                    conn,
+                    &cfg,
+                    &stats,
+                    &ends,
+                    &mut read_buf,
+                    &date,
+                    &mut local_hists,
+                );
             }
             if ev.writable && !dead {
+                // Writability means queued output: this flush burst is
+                // transfer time by definition.
+                let t0 = Instant::now();
                 dead = flush_output(conn, &stats);
+                local_hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
             }
             if !dead && !conn.wants_write() && conn.close_after_flush {
+                dead = true;
+            }
+            // Draining: a connection that just went drain-idle closes here
+            // in the event path, so the full sweep below stays bounded
+            // instead of re-scanning every open connection each pass.
+            if !dead && draining && conn.drain_idle() {
                 dead = true;
             }
             if !dead && deadlines_on {
@@ -1255,33 +1303,45 @@ fn worker_loop(
             }
             let now = Instant::now();
             let deadline_hit = drain_deadline.is_some_and(|d| now >= d);
-            conns.retain(|_, conn| {
-                if !(conn.drain_idle() || deadline_hit) {
-                    return true;
-                }
-                if conn.wants_write() {
-                    ctl.aborted.fetch_add(1, Ordering::SeqCst);
-                } else {
-                    ctl.drained.fetch_add(1, Ordering::SeqCst);
-                }
-                let _ = selector.deregister(conn.stream.as_raw_fd());
-                gauges.sub(GaugeKind::OpenConns, 1);
-                gauges.sub(GaugeKind::RegisteredConns, 1);
-                if let Some(s) = &shard {
-                    s.cell.on_close();
-                }
-                false
-            });
+            // The O(open) sweep runs exactly when it can close something
+            // the event path cannot: once when the drain begins (the
+            // already-idle population) and once when the deadline cuts
+            // stragglers. Between the two, connections that *become* idle
+            // close in the event path above, so a quiet pass over a large
+            // idle population costs nothing per connection.
+            if !drain_swept || deadline_hit {
+                drain_swept = true;
+                stats.drain_full_sweeps.fetch_add(1, Ordering::Relaxed);
+                conns.retain(|_, conn| {
+                    if !(conn.drain_idle() || deadline_hit) {
+                        return true;
+                    }
+                    if conn.wants_write() {
+                        ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        ctl.drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let _ = selector.deregister(conn.stream.as_raw_fd());
+                    gauges.sub(GaugeKind::OpenConns, 1);
+                    gauges.sub(GaugeKind::RegisteredConns, 1);
+                    if let Some(s) = &shard {
+                        s.cell.on_close();
+                    }
+                    false
+                });
+            }
             if conns.is_empty() {
                 break;
             }
         }
     }
     stats.alive_workers.fetch_sub(1, Ordering::SeqCst);
+    hists.lock().merge(&local_hists);
 }
 
 /// Drain the socket and serve every complete request. Returns true when the
 /// connection must be torn down.
+#[allow(clippy::too_many_arguments)]
 fn handle_readable(
     conn: &mut Conn,
     cfg: &NioConfig,
@@ -1289,19 +1349,29 @@ fn handle_readable(
     ends: &LiveEnds,
     scratch: &mut [u8],
     date: &str,
+    hists: &mut StageHists,
 ) -> bool {
     loop {
         match conn.stream.read(scratch) {
             Ok(0) => return !conn.wants_write(), // peer closed; flush leftovers
             Ok(n) => {
+                // Stage clocks: feed+parse is the parse burst (restarted
+                // after each served request so pipelined requests each get
+                // their own sample), the response build is service, the
+                // opportunistic flush below is transfer.
+                let mut p0 = Instant::now();
                 conn.parser.feed(&scratch[..n]);
                 loop {
                     match conn.parser.parse() {
                         ParseOutcome::Complete(req) => {
+                            hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
+                            let s0 = Instant::now();
                             serve(conn, cfg, stats, &req, date);
                             // Return the request's allocations to the
                             // parser for the next parse on this connection.
                             conn.parser.recycle(req);
+                            hists.record(Stage::Service, s0.elapsed().as_nanos() as u64);
+                            p0 = Instant::now();
                         }
                         ParseOutcome::Incomplete => break,
                         ParseOutcome::Error(e) => {
@@ -1322,8 +1392,15 @@ fn handle_readable(
                         }
                     }
                 }
-                // Opportunistic write of what we just queued.
-                if flush_output(conn, stats) {
+                // Opportunistic write of what we just queued (timed as
+                // transfer only when there is output to move).
+                let had_output = conn.wants_write();
+                let t0 = Instant::now();
+                let flush_dead = flush_output(conn, stats);
+                if had_output {
+                    hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
+                }
+                if flush_dead {
                     return true;
                 }
                 // A short read means the socket buffer was drained at

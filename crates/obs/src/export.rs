@@ -8,6 +8,8 @@
 //! {"type":"span","conn":C,"req":R|null,"stage":"accept","start_ns":A,"end_ns":B}
 //! {"type":"request","conn":C,"seq":S,"start_ns":A,"end_ns":B,"end":"done",
 //!  "total_ns":T,"stages":[{"stage":"parse","ns":N},...]}
+//! {"type":"hist","stage":"parse"|"total","count":N,"min_ns":..,"max_ns":..,
+//!  "p50_ns":..,"p90_ns":..,"p99_ns":..,"p999_ns":..}
 //! {"type":"counters","spans_dropped":..,"requests_dropped":..,
 //!  "gauge_overflow":..,"trace_dropped":..,
 //!  "ends":{"idle-timeout":..,"header-timeout":..,...}}
@@ -21,7 +23,7 @@ use crate::gauge::{GaugeLog, GaugeSample};
 use crate::lifecycle::EndTally;
 use crate::record::{RequestBreakdown, Span, SpanLog};
 use crate::Obs;
-use metrics::Json;
+use metrics::{Histogram, Json};
 
 /// Run-identifying fields for the leading `meta` line.
 #[derive(Debug, Clone)]
@@ -108,6 +110,22 @@ pub fn request_line(b: &RequestBreakdown) -> Json {
     ])
 }
 
+/// One per-stage latency histogram, summarised to the report quantiles.
+/// `label` is a stage label or `"total"` for whole-request response times.
+pub fn hist_line(label: &str, h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("type", "hist".into()),
+        ("stage", label.into()),
+        ("count", h.count().into()),
+        ("min_ns", h.min().into()),
+        ("max_ns", h.max().into()),
+        ("p50_ns", h.quantile(0.50).into()),
+        ("p90_ns", h.quantile(0.90).into()),
+        ("p99_ns", h.quantile(0.99).into()),
+        ("p999_ns", h.quantile(0.999).into()),
+    ])
+}
+
 /// The trailing accounting line: every bounded store's eviction/overflow
 /// count, the sim trace ring's eviction count when applicable, and the
 /// server-side termination-cause tally. An export without this line can
@@ -134,8 +152,9 @@ pub fn counters_line(
     ])
 }
 
-/// Render a complete JSONL document: meta, gauges, spans, requests,
-/// counters — one JSON object per line.
+/// Render a complete JSONL document: meta, gauges, spans, requests, stage
+/// histograms, counters — one JSON object per line. The `total` hist line
+/// is always present, so every conforming document exercises the tag.
 pub fn to_jsonl(obs: &Obs, meta: &ExportMeta, trace_dropped: u64) -> String {
     let mut out = String::new();
     out.push_str(&meta.line().render());
@@ -150,6 +169,10 @@ pub fn to_jsonl(obs: &Obs, meta: &ExportMeta, trace_dropped: u64) -> String {
     }
     for b in obs.requests.completed() {
         out.push_str(&request_line(b).render());
+        out.push('\n');
+    }
+    for (label, h) in obs.requests.hists().rows() {
+        out.push_str(&hist_line(label, h).render());
         out.push('\n');
     }
     out.push_str(
@@ -168,7 +191,7 @@ pub fn to_jsonl(obs: &Obs, meta: &ExportMeta, trace_dropped: u64) -> String {
 
 /// The set of `type` tags a conforming JSONL document may contain, in
 /// emission order. Schema-equality tests on the two layers key off this.
-pub const LINE_TYPES: [&str; 5] = ["meta", "gauge", "span", "request", "counters"];
+pub const LINE_TYPES: [&str; 6] = ["meta", "gauge", "span", "request", "hist", "counters"];
 
 #[cfg(test)]
 mod tests {
@@ -200,16 +223,22 @@ mod tests {
         let meta = ExportMeta::new("sim", "fig1").with("clients", 60u64);
         let doc = to_jsonl(&obs, &meta, 2);
         let lines: Vec<&str> = doc.lines().collect();
-        assert_eq!(lines.len(), 5);
+        // meta, gauge, span, request, 3 hist rows (parse/transfer/total),
+        // counters.
+        assert_eq!(lines.len(), 8);
         assert!(lines[0].starts_with(r#"{"type":"meta","source":"sim","label":"fig1""#));
         assert!(lines[0].contains(r#""clients":60"#));
         assert!(lines[1].contains(r#""gauge":"run-queue-depth""#));
         assert!(lines[2].contains(r#""stage":"connect-wait""#));
         assert!(lines[3].contains(r#""end":"done""#));
         assert!(lines[3].contains(r#""total_ns":9"#));
-        assert!(lines[4].contains(r#""trace_dropped":2"#));
-        assert!(lines[4].contains(r#""ends":{"idle-timeout":0,"#));
-        assert!(lines[4].contains(r#""parse-limit":3"#));
+        assert!(lines[4].contains(r#""type":"hist","stage":"parse","count":1"#));
+        assert!(lines[5].contains(r#""stage":"transfer""#));
+        assert!(lines[6].contains(r#""stage":"total""#));
+        assert!(lines[6].contains(r#""p99_ns":9"#));
+        assert!(lines[7].contains(r#""trace_dropped":2"#));
+        assert!(lines[7].contains(r#""ends":{"idle-timeout":0,"#));
+        assert!(lines[7].contains(r#""parse-limit":3"#));
         // Every line is a lone object: starts `{`, ends `}`.
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
@@ -232,7 +261,8 @@ mod tests {
         let obs = Obs::new(&ObsConfig::default());
         let doc = to_jsonl(&obs, &meta, 0);
         let lines: Vec<&str> = doc.lines().collect();
-        assert_eq!(lines.len(), 2, "escaping must keep meta on one line");
+        // meta, the always-present total hist line, counters.
+        assert_eq!(lines.len(), 3, "escaping must keep meta on one line");
         assert!(lines[0].contains(r#"evil\"label\\with\nnewline\u0001"#));
     }
 }

@@ -31,19 +31,23 @@
 
 pub mod export;
 pub mod gauge;
+pub mod hist;
 pub mod lifecycle;
 pub mod record;
 pub mod report;
 pub mod stage;
+pub mod usl;
 
 pub use export::{to_jsonl, ExportMeta};
 pub use gauge::{
     spawn_sampler, GaugeKind, GaugeLog, GaugeSample, LiveGauges, ShardCell, ShardGauges,
     ShardSample,
 };
+pub use hist::StageHists;
 pub use lifecycle::{EndCause, EndTally, LiveEnds};
 pub use record::{RequestBreakdown, RequestTracker, Span, SpanLog};
 pub use stage::{EndReason, Stage};
+pub use usl::{fit_usl, UslFit};
 
 /// Capacities and cadence for one observed run.
 #[derive(Debug, Clone, PartialEq, Eq)]

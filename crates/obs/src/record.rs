@@ -15,6 +15,7 @@
 //! Timestamps are plain `u64` nanoseconds — virtual time in the simulator,
 //! wall time since run start on the live layer — so one crate serves both.
 
+use crate::hist::StageHists;
 use crate::stage::{EndReason, Stage};
 use std::collections::{HashMap, VecDeque};
 
@@ -171,6 +172,7 @@ pub struct RequestTracker {
     dropped: u64,
     next_seq: HashMap<u64, u64>,
     open_count: usize,
+    hists: StageHists,
 }
 
 impl RequestTracker {
@@ -182,6 +184,7 @@ impl RequestTracker {
             dropped: 0,
             next_seq: HashMap::new(),
             open_count: 0,
+            hists: StageHists::new(),
         }
     }
 
@@ -226,6 +229,7 @@ impl RequestTracker {
         }
         self.open_count -= 1;
         let breakdown = Self::close(req, conn, end_ns, end);
+        self.hists.record_breakdown(&breakdown);
         self.archive(breakdown)
     }
 
@@ -239,6 +243,7 @@ impl RequestTracker {
         self.open_count -= n;
         for req in queue {
             let breakdown = Self::close(req, conn, end_ns, end);
+            self.hists.record_breakdown(&breakdown);
             self.archive(breakdown);
         }
         n
@@ -290,6 +295,19 @@ impl RequestTracker {
         self.dropped
     }
 
+    /// Per-stage latency histograms over every closed request — including
+    /// ones the bounded archive dropped, so percentiles stay faithful on
+    /// captures that outgrow `request_capacity`.
+    pub fn hists(&self) -> &StageHists {
+        &self.hists
+    }
+
+    /// Mutable access for callers that record stage timings directly
+    /// (live servers time their serve-path bursts without a tracker).
+    pub fn hists_mut(&mut self) -> &mut StageHists {
+        &mut self.hists
+    }
+
     /// Per-stage `(total_ns, count)` over completed requests with the given
     /// end reason filter (`None` = all).
     pub fn stage_totals(&self, end: Option<EndReason>) -> Vec<(Stage, u64, u64)> {
@@ -327,6 +345,7 @@ impl RequestTracker {
     /// live layer); open requests don't cross threads.
     pub fn merge(&mut self, other: RequestTracker) {
         self.dropped += other.dropped;
+        self.hists.merge(&other.hists);
         for b in other.done {
             self.archive(b);
         }

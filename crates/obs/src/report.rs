@@ -6,6 +6,7 @@
 //! output reads like the rest of the repro reports.
 
 use crate::gauge::{GaugeKind, GaugeLog};
+use crate::hist::{StageHists, REPORT_QUANTILES};
 use crate::record::RequestTracker;
 use crate::stage::{EndReason, Stage};
 use metrics::{fnum, render_chart, Align, ChartConfig, ChartSeries, Table};
@@ -41,6 +42,58 @@ pub fn stage_table(requests: &RequestTracker) -> String {
         ]);
     }
     table.render()
+}
+
+/// Per-stage latency percentiles from the log2 histograms: p50/p90/p99/p999
+/// per stage plus the whole-request `total` row. The tail columns are what
+/// the mean-based stage table cannot show — a p999 pulling away from p50 is
+/// queueing, before the mean moves at all.
+pub fn hist_table(hists: &StageHists) -> String {
+    let mut cols: Vec<(&str, Align)> = vec![("stage", Align::Left), ("count", Align::Right)];
+    for &(label, _) in &REPORT_QUANTILES {
+        cols.push((label, Align::Right));
+    }
+    let mut table = Table::new(&cols);
+    for (label, h) in hists.rows() {
+        let mut row = vec![label.to_string(), h.count().to_string()];
+        for &(_, q) in &REPORT_QUANTILES {
+            row.push(format!("{} µs", fnum(h.quantile(q) as f64 / 1e3, 1)));
+        }
+        table.row(row);
+    }
+    table.render()
+}
+
+/// Capture-loss accounting for terminal reports: what each bounded store
+/// evicted or refused. Returns the rendered section and whether anything
+/// was dropped at all — callers prepend a WARNING line when it was,
+/// because percentiles from a lossy capture are suspect.
+pub fn drop_counters_section(
+    spans_dropped: u64,
+    requests_dropped: u64,
+    gauge_overflow: u64,
+    trace_dropped: u64,
+) -> (String, bool) {
+    let rows = [
+        ("spans dropped", spans_dropped),
+        ("request breakdowns dropped", requests_dropped),
+        ("gauge samples overflowed", gauge_overflow),
+        ("trace events dropped", trace_dropped),
+    ];
+    let any = rows.iter().any(|&(_, n)| n > 0);
+    let mut table = Table::new(&[("store", Align::Left), ("dropped", Align::Right)]);
+    for (label, n) in rows {
+        table.row(vec![label.to_string(), n.to_string()]);
+    }
+    let mut out = String::new();
+    if any {
+        out.push_str(
+            "WARNING: capture dropped records — bounded stores overflowed; raise the \
+             obs capacities before trusting tails.\n",
+        );
+    }
+    out.push_str(&table.render());
+    (out, any)
 }
 
 /// End-reason accounting: completed vs censored requests. The censored rows
@@ -277,6 +330,26 @@ mod tests {
         assert!(s.contains("transfer"));
         let share = stage_share(&t, Stage::Parse) + stage_share(&t, Stage::Transfer);
         assert!((share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hist_table_renders_percentiles() {
+        let t = tracker_with(&[(0, 2_000_000, EndReason::Done)]);
+        let s = hist_table(t.hists());
+        assert!(s.contains("total"), "{s}");
+        assert!(s.contains("p999"), "{s}");
+        assert!(s.contains("parse"), "{s}");
+    }
+
+    #[test]
+    fn drop_section_warns_only_when_lossy() {
+        let (clean, any) = drop_counters_section(0, 0, 0, 0);
+        assert!(!any);
+        assert!(!clean.contains("WARNING"));
+        let (lossy, any) = drop_counters_section(0, 3, 0, 0);
+        assert!(any);
+        assert!(lossy.contains("WARNING"), "{lossy}");
+        assert!(lossy.contains("request breakdowns dropped"));
     }
 
     #[test]

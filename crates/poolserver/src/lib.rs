@@ -27,7 +27,7 @@ use httpcore::{
     ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, RequestParser, Status,
     Version,
 };
-use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges};
+use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, Stage, StageHists};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -155,6 +155,7 @@ pub struct PoolServer {
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
     ends: Arc<LiveEnds>,
+    hists: Arc<Mutex<StageHists>>,
     /// `None` once the port is released (drain refuses new connections).
     listener: Arc<Mutex<Option<TcpListener>>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -174,6 +175,7 @@ impl PoolServer {
             stats: Arc::new(PoolStats::default()),
             gauges: Arc::new(LiveGauges::new()),
             ends: Arc::new(LiveEnds::new()),
+            hists: Arc::new(Mutex::new(StageHists::new())),
             listener: Arc::new(Mutex::new(Some(listener))),
             threads: Mutex::new(Vec::new()),
         };
@@ -191,9 +193,10 @@ impl PoolServer {
         let stats = Arc::clone(&self.stats);
         let gauges = Arc::clone(&self.gauges);
         let ends = Arc::clone(&self.ends);
+        let hists = Arc::clone(&self.hists);
         let handle = std::thread::Builder::new()
             .name(format!("pool-{i}"))
-            .spawn(move || pool_thread(cfg, listener, ctl, stats, gauges, ends))?;
+            .spawn(move || pool_thread(cfg, listener, ctl, stats, gauges, ends, hists))?;
         self.threads.lock().push(handle);
         Ok(())
     }
@@ -218,6 +221,14 @@ impl PoolServer {
     /// [`obs::EndTally`] for export.
     pub fn ends(&self) -> Arc<LiveEnds> {
         Arc::clone(&self.ends)
+    }
+
+    /// Server-side per-stage latency histograms: parse/service/transfer
+    /// burst durations measured inside the pool threads, merged into this
+    /// shared sink as each thread exits. Clone the `Arc` before `shutdown`
+    /// (which consumes the handle) to read the completed merge afterwards.
+    pub fn stage_hists(&self) -> Arc<Mutex<StageHists>> {
+        Arc::clone(&self.hists)
     }
 
     fn stop_and_join(&self) {
@@ -297,6 +308,7 @@ fn take_crash_token(ctl: &PoolCtl) -> bool {
 
 /// One pool thread: accept under the mutex, then serve the connection to
 /// completion with blocking I/O (the thread is unavailable throughout).
+#[allow(clippy::too_many_arguments)]
 fn pool_thread(
     cfg: PoolConfig,
     listener: Arc<Mutex<Option<TcpListener>>>,
@@ -304,8 +316,12 @@ fn pool_thread(
     stats: Arc<PoolStats>,
     gauges: Arc<LiveGauges>,
     ends: Arc<LiveEnds>,
+    hists: Arc<Mutex<StageHists>>,
 ) {
     stats.alive_threads.fetch_add(1, Ordering::SeqCst);
+    // Per-thread stage histograms: recorded locally (nothing shared on the
+    // serve path), merged into the server-wide sink when the thread exits.
+    let mut local_hists = StageHists::new();
     let fd_limit = rlimit_nofile();
     // EMFILE/ENFILE backoff: retrying at full speed starves the very
     // connection teardowns that would free fds.
@@ -377,7 +393,8 @@ fn pool_thread(
                 gauges.add(GaugeKind::OpenConns, 1);
                 let in_flight = Arc::new(AtomicBool::new(false));
                 let id = ctl.registry.register(&stream, &in_flight);
-                let owed = serve_connection(&cfg, stream, &ctl, &stats, &ends, &in_flight);
+                let owed =
+                    serve_connection(&cfg, stream, &ctl, &stats, &ends, &in_flight, &mut local_hists);
                 ctl.registry.remove(id);
                 if ctl.draining.load(Ordering::SeqCst) {
                     if owed {
@@ -416,11 +433,13 @@ fn pool_thread(
         }
     }
     stats.alive_threads.fetch_sub(1, Ordering::SeqCst);
+    hists.lock().merge(&local_hists);
 }
 
 /// Serve one connection until it closes, errors, or idles out. Returns true
 /// if the connection ended with a response still owed to the client (the
 /// drain accounting's "aborted").
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     cfg: &PoolConfig,
     mut stream: TcpStream,
@@ -428,6 +447,7 @@ fn serve_connection(
     stats: &PoolStats,
     ends: &LiveEnds,
     in_flight: &AtomicBool,
+    hists: &mut StageHists,
 ) -> bool {
     let _ = stream.set_nodelay(true);
     // Same send-buffer sizing as the event server: a whole reply fits in
@@ -481,14 +501,21 @@ fn serve_connection(
             Ok(0) => return false, // client closed
             Ok(n) => {
                 idle_left = idle;
+                // Stage clock: feed+parse is the parse burst, restarted
+                // after each served request so pipelined requests each get
+                // their own sample.
+                let mut p0 = Instant::now();
                 parser.feed(&buf[..n]);
                 loop {
                     match parser.parse() {
                         ParseOutcome::Complete(req) => {
+                            hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
                             let keep = req.keep_alive();
                             in_flight.store(true, Ordering::SeqCst);
-                            let sent = respond(cfg, &mut stream, stats, &req, &date, &mut head);
+                            let sent =
+                                respond(cfg, &mut stream, stats, &req, &date, &mut head, hists);
                             in_flight.store(false, Ordering::SeqCst);
+                            p0 = Instant::now();
                             // Hand the request's allocations back for the
                             // next parse on this connection.
                             parser.recycle(req);
@@ -567,6 +594,7 @@ fn serve_connection(
 /// and the body stays a borrowed arena slice — the pair goes to the kernel
 /// via [`write_two`] (`writev`) instead of being concatenated into a fresh
 /// allocation per response.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     cfg: &PoolConfig,
     stream: &mut TcpStream,
@@ -574,8 +602,11 @@ fn respond(
     req: &httpcore::Request,
     date: &str,
     head: &mut Vec<u8>,
+    hists: &mut StageHists,
 ) -> bool {
     stats.requests.fetch_add(1, Ordering::Relaxed);
+    // Service = building the response; transfer = the blocking write below.
+    let s0 = Instant::now();
     let keep = req.keep_alive();
     head.clear();
     let mut body: &[u8] = &[];
@@ -617,7 +648,9 @@ fn respond(
             httpcore::write_head(head, req.version, Status::NotFound, 0, keep, date);
         }
     }
-    match write_two(stream, head, body) {
+    hists.record(Stage::Service, s0.elapsed().as_nanos() as u64);
+    let t0 = Instant::now();
+    let out = match write_two(stream, head, body) {
         Ok(()) => {
             stats
                 .bytes_sent
@@ -625,7 +658,9 @@ fn respond(
             true
         }
         Err(_) => false,
-    }
+    };
+    hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
+    out
 }
 
 /// Blocking vectored write of two segments with a cursor that spans both —

@@ -144,6 +144,10 @@ struct ConnRec {
     thread_bound: bool,
     /// CPU jobs in flight that reference this connection.
     pending_jobs: u32,
+    /// Cached busy state (established with server-side work in flight),
+    /// maintained by [`Testbed::refresh_busy`] so the gauge sampler reads a
+    /// counter instead of scanning every open connection.
+    busy: bool,
 }
 
 /// Which server is running, with its architecture-specific state.
@@ -206,6 +210,14 @@ pub struct Testbed {
     /// SYNs answered with an explicit refusal (drain, shedding, full
     /// backlog under `refuse_on_full`).
     pub syns_refused: u64,
+    /// Established connections with server-side work in flight, maintained
+    /// incrementally at every state transition — the gauge sampler's
+    /// ready-set reading is O(1) in the open-connection count.
+    busy_conns: usize,
+    /// Connections the gauge sampler *visited* (iterated over) across all
+    /// samples. Stays zero with the incremental counter; tests pin that
+    /// sampling cost is independent of the idle-connection population.
+    pub gauge_conn_visits: u64,
 }
 
 impl Testbed {
@@ -314,6 +326,8 @@ impl Testbed {
             drain_aborted: 0,
             drain_report: None,
             syns_refused: 0,
+            busy_conns: 0,
+            gauge_conn_visits: 0,
         }
     }
 
@@ -389,6 +403,48 @@ impl Testbed {
         }
     }
 
+    /// Recompute one connection's busy state and fold the delta into the
+    /// incremental counter. Must run after any mutation of the predicate's
+    /// inputs (net state, pending jobs, pipeline, active flow); a full-run
+    /// equivalence test against the brute-force scan pins the call sites.
+    fn refresh_busy(&mut self, conn: ConnId) {
+        let Some(rec) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let now_busy = rec.net.is_established()
+            && (rec.pending_jobs > 0 || !rec.pipeline.is_empty() || rec.active_flow.is_some());
+        if now_busy != rec.busy {
+            rec.busy = now_busy;
+            if now_busy {
+                self.busy_conns += 1;
+            } else {
+                self.busy_conns -= 1;
+            }
+        }
+    }
+
+    /// The incremental busy-connection counter (selector ready-set size).
+    pub fn busy_fast(&self) -> usize {
+        self.busy_conns
+    }
+
+    /// Brute-force recount of the same predicate; O(open), test-only use.
+    ///
+    /// Every connection record it touches bumps `gauge_conn_visits`, so this
+    /// doubles as a tripwire: if gauge sampling ever falls back to a scan
+    /// (this function or an inline loop that honours the same accounting),
+    /// the cost-independence test sees a non-zero visit count.
+    pub fn busy_brute(&mut self) -> usize {
+        self.gauge_conn_visits += self.conns.len() as u64;
+        self.conns
+            .values()
+            .filter(|r| {
+                r.net.is_established()
+                    && (r.pending_jobs > 0 || !r.pipeline.is_empty() || r.active_flow.is_some())
+            })
+            .count()
+    }
+
     /// Submit a CPU job and schedule completions for whatever started.
     fn submit_cpu(
         &mut self,
@@ -398,8 +454,9 @@ impl Testbed {
         job: Job,
     ) {
         if let Some(conn) = job.conn_ref() {
-            if let Some(rec) = self.conns.get_mut(&conn) {
-                rec.pending_jobs += 1;
+            if self.conns.contains_key(&conn) {
+                self.conns.get_mut(&conn).expect("checked").pending_jobs += 1;
+                self.refresh_busy(conn);
             }
         }
         let started = self.cpu.submit(ctx.now(), lane, service, job);
@@ -449,6 +506,7 @@ impl Testbed {
             idle_ev: None,
             thread_bound: false,
             pending_jobs: 0,
+            busy: false,
         };
         if self.trace.wants(TraceLevel::Debug) {
             self.trace.emit(
@@ -484,6 +542,11 @@ impl Testbed {
 
     /// Start the next queued reply flow on `conn`, if idle.
     fn try_start_flow(&mut self, ctx: &mut Ctx<'_, Ev>, conn: ConnId) {
+        // Callers reach here right after pushing a reply into the pipeline;
+        // refreshing up front folds that push into the busy counter on
+        // every path, including the early returns below (popping the
+        // pipeline into `active_flow` cannot change the predicate).
+        self.refresh_busy(conn);
         let Some(rec) = self.conns.get_mut(&conn) else {
             return;
         };
@@ -668,6 +731,7 @@ impl Testbed {
         }
         // Teardown packets also burn bandwidth.
         self.start_overhead_flow(ctx, link, self.cfg.connection_overhead_bytes * 0.5);
+        self.refresh_busy(conn);
         self.maybe_gc(conn);
     }
 
@@ -679,7 +743,11 @@ impl Testbed {
         let closed = matches!(rec.net.state, netsim::ConnState::Closed(_));
         let current = self.rt[rec.client.0 as usize].conn == Some(conn);
         if closed && rec.pending_jobs == 0 && rec.active_flow.is_none() && !current {
-            self.conns.remove(&conn);
+            if let Some(rec) = self.conns.remove(&conn) {
+                if rec.busy {
+                    self.busy_conns -= 1;
+                }
+            }
         }
     }
 
@@ -756,18 +824,11 @@ impl Testbed {
                 g.push(t, GaugeKind::RegisteredConns, e.registered_count() as f64);
                 g.push(t, GaugeKind::AcceptBacklog, e.pending_accepts() as f64);
                 // The selector's ready set at this instant: registered
-                // connections with server-side work in flight.
-                let ready = self
-                    .conns
-                    .values()
-                    .filter(|r| {
-                        r.net.is_established()
-                            && (r.pending_jobs > 0
-                                || !r.pipeline.is_empty()
-                                || r.active_flow.is_some())
-                    })
-                    .count();
-                g.push(t, GaugeKind::ReadySetSize, ready as f64);
+                // connections with server-side work in flight. Read from
+                // the incrementally maintained counter — a sample must not
+                // cost a scan of every idle registration (the very effect
+                // the ready-set gauge exists to expose).
+                g.push(t, GaugeKind::ReadySetSize, self.busy_conns as f64);
             }
         }
     }
@@ -780,6 +841,7 @@ impl Testbed {
         rec.active_flow = None;
         rec.net.replies += 1;
         let cid = rec.client;
+        self.refresh_busy(conn);
         // The reply is delivered at this exact instant — the same one
         // `client.on_reply` measures response time at — so the breakdown's
         // total equals the recorded response time.
@@ -952,6 +1014,7 @@ impl Model for Testbed {
                         end_ns: ctx.now().as_nanos(),
                     });
                 }
+                self.refresh_busy(conn);
                 let action = {
                     let client = &mut self.clients[cid.0 as usize];
                     client.on_connected(ctx.now(), &mut self.metrics)
@@ -1104,6 +1167,7 @@ impl Model for Testbed {
                     if let Some(rec) = self.conns.get_mut(&c) {
                         rec.pending_jobs = rec.pending_jobs.saturating_sub(1);
                     }
+                    self.refresh_busy(c);
                 }
                 // The job that produced the reply just finished executing:
                 // retroactively mark where its service slice began and where
@@ -1306,6 +1370,7 @@ impl Model for Testbed {
                 if let ServerModel::Event(e) | ServerModel::Staged(e) = &mut self.server {
                     e.deregister(conn);
                 }
+                self.refresh_busy(conn);
             }
 
             Ev::StallTick => {
@@ -1548,6 +1613,7 @@ impl Model for Testbed {
                     let client = &mut self.clients[cid.0 as usize];
                     client.on_refused(ctx.now(), &self.files, &mut self.metrics)
                 };
+                self.refresh_busy(conn);
                 self.maybe_gc(conn);
                 self.run_client_action(ctx, cid, action);
             }
@@ -1632,6 +1698,7 @@ impl Model for Testbed {
                         }
                         _ => {}
                     }
+                    self.refresh_busy(conn);
                 }
                 self.drain_report = Some(faults::DrainReport {
                     drained: self.drain_drained,

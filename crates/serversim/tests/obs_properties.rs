@@ -69,6 +69,75 @@ proptest! {
         for span in tb.obs.spans.spans() {
             prop_assert!(span.end_ns >= span.start_ns);
         }
+
+        // The incrementally maintained busy counter the ready-set gauge
+        // reads agrees with a brute-force recount of the same predicate at
+        // whatever state the schedule ended in.
+        let mut tb = tb;
+        let fast = tb.busy_fast();
+        prop_assert_eq!(fast, tb.busy_brute());
+    }
+}
+
+/// Gauge sampling must be O(active), not O(open): a run with 20× the idle
+/// connection population performs exactly as many per-connection visits
+/// while sampling — zero — and the incremental ready-set counter it reads
+/// instead still matches a brute recount.
+#[test]
+fn gauge_sampling_cost_independent_of_idle_connections() {
+    for &clients in &[10u32, 200u32] {
+        let mut tb = run(observed_config(
+            ServerArch::EventDriven { workers: 2 },
+            clients,
+            7,
+        ));
+        // Sampling demonstrably ran: the ready-set series is populated.
+        let (ts, _) = tb.obs.gauges.series(GaugeKind::ReadySetSize);
+        assert!(!ts.is_empty(), "no ready-set samples at clients={clients}");
+        // ...and never iterated connection records to do so.
+        assert_eq!(
+            tb.gauge_conn_visits, 0,
+            "gauge sampling scanned connection records at clients={clients}"
+        );
+        let fast = tb.busy_fast();
+        assert_eq!(fast, tb.busy_brute(), "counter drift at clients={clients}");
+    }
+}
+
+/// The per-stage histograms and the span archive measure the same
+/// requests through different stores: the `total` histogram's percentiles
+/// must agree with percentiles computed directly from the archived
+/// breakdowns' response times, within the log2 bucket resolution.
+#[test]
+fn histogram_percentiles_agree_with_span_derived_response_times() {
+    let tb = run(observed_config(ServerArch::Threaded { pool: 16 }, 25, 11));
+    // Apples to apples only when the bounded archive dropped nothing (the
+    // histograms see every closed request; the archive may not).
+    assert_eq!(tb.obs.requests.dropped(), 0, "archive overflowed; grow it");
+    let mut totals: Vec<u64> = tb
+        .obs
+        .requests
+        .completed()
+        .iter()
+        .map(|b| b.total_ns())
+        .collect();
+    assert!(totals.len() >= 100, "too few requests to compare percentiles");
+    totals.sort_unstable();
+    let hist = tb.obs.requests.hists().total();
+    assert_eq!(hist.count(), totals.len() as u64);
+    for q in [0.50, 0.90, 0.99] {
+        // The histogram reports the matched bucket's lower bound at rank
+        // ceil(q·n); mirror that rank, then allow one bucket (~2^-7
+        // relative) of quantisation plus rank-rounding slack.
+        let rank = ((q * totals.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = totals[rank] as f64;
+        let approx = hist.quantile(q) as f64;
+        let rel = (approx - exact).abs() / exact.max(1.0);
+        assert!(
+            rel < 0.05,
+            "q{q}: hist {approx} vs span-derived {exact} ({:.2}% off)",
+            rel * 100.0
+        );
     }
 }
 

@@ -111,6 +111,48 @@ fn nio_graceful_drain_delivers_in_flight_response() {
     assert_eq!(report.drained, 2, "idle A and served B both end cleanly");
 }
 
+/// The drain path is O(active), not O(open): however many idle connections
+/// are open and however many event-loop passes the drain spans, a worker
+/// performs at most two full sweeps over the connection map — one when the
+/// drain begins, one if the deadline fires. Connections that become idle
+/// mid-drain close from the event path instead.
+#[test]
+fn nio_drain_full_sweeps_bounded_regardless_of_idle_population() {
+    let server = start_nio(1, None);
+    let addr = server.addr();
+    let stats = server.stats_arc();
+
+    // A large idle population the drain must not rescan every pass.
+    let idle: Vec<TcpStream> = (0..40).map(|_| idle_after_one(addr)).collect();
+
+    // One in-flight connection that holds the drain open across many
+    // event-loop passes: each dribbled byte wakes the worker.
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    b.write_all(b"GET /f/1 HTT").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let drain = std::thread::spawn(move || server.shutdown_graceful(Duration::from_secs(5)));
+    std::thread::sleep(Duration::from_millis(100));
+    for chunk in [&b"P/1.1\r\n"[..], b"Host: t\r\n", b"Connection: close\r\n"] {
+        b.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    b.write_all(b"\r\n").unwrap();
+    let (status, _) = read_one_response(&mut b);
+    assert_eq!(status, 200);
+
+    let report = drain.join().unwrap();
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.drained, 41, "40 idle + the served straggler");
+    let sweeps = stats.drain_full_sweeps.load(Ordering::Relaxed);
+    assert!(
+        (1..=2).contains(&sweeps),
+        "drain swept the full map {sweeps} times; the protocol bounds it at 2"
+    );
+    drop(idle);
+}
+
 #[test]
 fn pool_graceful_drain_delivers_in_flight_response() {
     let server = start_pool(4, None);
