@@ -27,6 +27,12 @@
 //!                             # never-reads, idle floods, fd storms) vs
 //!                             # both live servers + the Fig-3 idle-timeout
 //!                             # policy sweep (--smoke: CI-sized windows)
+//!   repro fleet               # replicated servers behind the fault-aware
+//!                             # balancer: rolling restart, 1-slow, 1-down,
+//!                             # surge failover, split capacity × every
+//!                             # strategy, with zero-lost-reply gates
+//!                             # (--smoke: CI-sized load; --json dumps
+//!                             # fleet + per-replica gauges as JSONL)
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -46,6 +52,7 @@ fn main() {
     let mut chaos_mode = false;
     let mut bench_mode = false;
     let mut resilience_mode = false;
+    let mut fleet_mode = false;
     let mut smoke = false;
     // Accept path for event-driven sweeps: --sharded wins, else the
     // REPRO_ACCEPT_MODE env var (the CI matrix axis), else handoff.
@@ -62,6 +69,7 @@ fn main() {
             "chaos" => chaos_mode = true,
             "bench" => bench_mode = true,
             "resilience" => resilience_mode = true,
+            "fleet" => fleet_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -87,7 +95,7 @@ fn main() {
             "list" => {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
-                println!("robustness:       sensitivity chaos resilience");
+                println!("robustness:       sensitivity chaos resilience fleet");
                 println!("performance:      bench");
                 println!("observability:    observe <fig-id> | observe capacity");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
@@ -96,7 +104,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [observe] [all | ext | everything | chaos | bench | fig1a ...] [--quick] [--smoke] [--sharded] [--json PATH]"
+                    "usage: repro [observe] [all | ext | everything | chaos | bench | fleet | fig1a ...] [--quick] [--smoke] [--sharded] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -170,6 +178,29 @@ fn main() {
         );
         if failed > 0 {
             eprintln!("{failed} resilience check(s) FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if fleet_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_fleet_matrix(smoke);
+        println!("{}", experiments::render_fleet(&report));
+        println!("{}", render_checks(&report.checks));
+        let failed = report.checks.iter().filter(|c| !c.pass).count();
+        println!(
+            "  ({} runs, {:.1}s)\n",
+            report.runs.len(),
+            start.elapsed().as_secs_f64()
+        );
+        if let Some(path) = json_path {
+            // Per-replica + fleet-aggregate gauges from an instrumented
+            // re-run of the one-down/least-conn cell.
+            std::fs::write(&path, experiments::fleet_jsonl(smoke)).expect("write fleet jsonl");
+            println!("wrote {path}");
+        }
+        if failed > 0 {
+            eprintln!("{failed} fleet check(s) FAILED");
             std::process::exit(1);
         }
         return;

@@ -204,6 +204,8 @@ fn live_load(target: std::net::SocketAddr, secs: f64) -> loadgen::LoadConfig {
         seed: LIVE_SEED,
         obs: None,
         retry: None,
+        failover: Vec::new(),
+        failover_budget: 0,
     }
 }
 

@@ -1,0 +1,390 @@
+//! `repro fleet` — the fleet-resilience scenario matrix: N replicated
+//! event-driven hosts behind the fault-aware balancer, measured on the
+//! clients' terms.
+//!
+//! Five scenarios (rolling restart, one-replica-slow, one-replica-down,
+//! surge failover, split capacity) run against every balancing strategy
+//! (round-robin, least-connections, consistent-hash). Each run reports
+//! degradation and time-to-recover around its disruption window, the
+//! worst one-second goodput as a fraction of steady state, and the
+//! zero-lost-reply ledger. The checks gate the fleet claims: rolling
+//! restarts lose nothing, a crashed replica is ejected and readmitted,
+//! and least-connections holds fleet goodput above 2/3 of steady state
+//! through a one-replica crash.
+
+use crate::checks::Check;
+use desim::SimDuration;
+use faults::{FaultEvent, FaultImpact, FaultKind, FleetFaultPlan, HostFault};
+use serversim::fleet::{run_fleet, FleetConfig, RollingRestart};
+use serversim::Strategy;
+
+/// The scenario matrix, in run order.
+pub const FLEET_SCENARIOS: [&str; 5] = [
+    "rolling-restart",
+    "one-slow",
+    "one-down",
+    "surge-failover",
+    "split-capacity",
+];
+
+const SEC: u64 = 1_000_000_000;
+/// Measurement warmup (whole seconds) shared by every scenario.
+const WARMUP_S: usize = 8;
+
+/// One (scenario, strategy) execution, summarised.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    pub scenario: String,
+    pub strategy: String,
+    pub impact: FaultImpact,
+    /// Worst one-second fleet goodput inside the disruption window, as a
+    /// fraction of the steady pre-disruption rate.
+    pub floor_frac: f64,
+    pub replies: u64,
+    /// Replies the fleet owed and failed to deliver — the gated number.
+    pub lost: u64,
+    /// Balancer-initiated replays of owed requests (budget-charged).
+    pub failover_retries: u64,
+    /// Balancer-initiated connect redirects (budget-charged).
+    pub redirects: u64,
+    pub ejections: u64,
+    pub readmissions: u64,
+    pub restarts: u64,
+    pub drain_aborted: u64,
+    pub p99_ms: f64,
+    /// Measured replies served per replica.
+    pub host_replies: Vec<u64>,
+}
+
+/// Everything `repro fleet` prints and asserts.
+#[derive(Debug)]
+pub struct FleetReport {
+    pub runs: Vec<FleetRun>,
+    pub checks: Vec<Check>,
+}
+
+/// Disruption window `[start_s, end_s)` per scenario, for impact and
+/// goodput-floor computation. Split-capacity has no disruption; its window
+/// is a mid-run slice so the table stays uniform.
+fn window_of(scenario: &str) -> (usize, usize) {
+    match scenario {
+        // Drains start at 12 s; the last host is back at 27 s.
+        "rolling-restart" => (12, 27),
+        // Catalog brownout window.
+        "one-slow" => (12, 22),
+        "one-down" | "surge-failover" | "split-capacity" => (12, 20),
+        other => panic!("unknown fleet scenario {other}"),
+    }
+}
+
+fn crash_plan() -> FleetFaultPlan {
+    FleetFaultPlan::new(
+        "host0-down",
+        vec![HostFault {
+            host: 0,
+            event: FaultEvent {
+                start_ns: 12 * SEC,
+                duration_ns: 8 * SEC,
+                kind: FaultKind::WorkerCrash {
+                    fraction: 1.0,
+                    restart: true,
+                },
+            },
+        }],
+    )
+}
+
+/// Build the configuration for one cell of the matrix.
+pub fn fleet_config(scenario: &str, strategy: Strategy, smoke: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::baseline(3, strategy);
+    cfg.num_clients = if smoke { 90 } else { 150 };
+    // Compress think times so clients keep a steady duty cycle: per-second
+    // fleet rates become stable enough for the goodput-floor gate to measure
+    // disruption rather than heavy-tail arrival noise.
+    cfg.client.session.think_k_secs = 0.05;
+    cfg.client.session.think_cap_secs = 0.5;
+    cfg.seed = 0xF1EE_7001
+        ^ (scenario.len() as u64) << 8
+        ^ Strategy::ALL.iter().position(|&s| s == strategy).unwrap() as u64;
+    match scenario {
+        "rolling-restart" => {
+            cfg.rolling_restart = Some(RollingRestart {
+                start: SimDuration::from_secs(12),
+                stagger: SimDuration::from_secs(6),
+                drain_timeout: SimDuration::from_secs(2),
+                restart_down: SimDuration::from_secs(1),
+            });
+        }
+        "one-slow" => {
+            cfg.fleet_plan = FleetFaultPlan::named_scoped("brownout", 0);
+        }
+        "one-down" => {
+            cfg.fleet_plan = Some(crash_plan());
+        }
+        "surge-failover" => {
+            // The crash lands first; a client surge arrives while host 0 is
+            // out of rotation and must be absorbed by the survivors.
+            cfg.fleet_plan = Some(crash_plan());
+            cfg.surge_clients = if smoke { 45 } else { 75 };
+            cfg.surge_at = Some(SimDuration::from_secs(13));
+        }
+        "split-capacity" => {
+            cfg.host_speed = vec![1.0, 1.0, 0.5];
+        }
+        other => panic!("unknown fleet scenario {other}"),
+    }
+    cfg
+}
+
+fn run_cell(scenario: &str, strategy: Strategy, smoke: bool) -> FleetRun {
+    let (w0, w1) = window_of(scenario);
+    let tb = run_fleet(fleet_config(scenario, strategy, smoke));
+    let rates = tb.metrics.replies.rates_per_sec();
+    let impact = FaultImpact::from_rates(&rates, WARMUP_S, w0, w1);
+    let during = &rates[(w0 + 1).min(rates.len())..w1.min(rates.len())];
+    let floor_frac = if impact.before_rps > 0.0 && !during.is_empty() {
+        during.iter().cloned().fold(f64::INFINITY, f64::min) / impact.before_rps
+    } else {
+        1.0
+    };
+    FleetRun {
+        scenario: scenario.to_string(),
+        strategy: strategy.label().to_string(),
+        impact,
+        floor_frac,
+        replies: tb.metrics.traffic.replies_received,
+        lost: tb.lost_replies,
+        failover_retries: tb.failover_retries,
+        redirects: tb.connect_redirects,
+        ejections: tb.lb.ejections(),
+        readmissions: tb.lb.readmissions(),
+        restarts: tb.restarts_completed,
+        drain_aborted: tb.drain_aborted,
+        p99_ms: tb.metrics.response_time_us.quantile(0.99) as f64 / 1000.0,
+        host_replies: tb.host_replies(),
+    }
+}
+
+/// Execute the full scenario × strategy matrix. `smoke` trims the client
+/// population for CI; the matrix itself never shrinks — every cell is part
+/// of the gate.
+pub fn run_fleet_matrix(smoke: bool) -> FleetReport {
+    let jobs: Vec<(&str, Strategy)> = FLEET_SCENARIOS
+        .iter()
+        .flat_map(|&s| Strategy::ALL.iter().map(move |&st| (s, st)))
+        .collect();
+    // Each cell is one single-threaded deterministic simulation: run them
+    // in parallel, preserving order.
+    let runs: Vec<FleetRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(scenario, strategy)| scope.spawn(move || run_cell(scenario, strategy, smoke)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet run"))
+            .collect()
+    });
+    let checks = fleet_checks(&runs, smoke);
+    FleetReport { runs, checks }
+}
+
+/// The fleet-resilience story every cell must tell.
+fn fleet_checks(runs: &[FleetRun], smoke: bool) -> Vec<Check> {
+    let mut out = Vec::new();
+    let min_replies = if smoke { 500 } else { 1000 };
+    let find = |scenario: &str, strategy: &str| {
+        runs.iter()
+            .find(|r| r.scenario == scenario && r.strategy == strategy)
+            .unwrap_or_else(|| panic!("missing run {scenario}/{strategy}"))
+    };
+    // Every cell did real work and every replica took traffic.
+    for r in runs {
+        out.push(Check::new(
+            &format!("{}/{}: fleet sustains traffic", r.scenario, r.strategy),
+            r.replies > min_replies && r.host_replies.iter().all(|&h| h > 0),
+            format!("replies {} per-host {:?}", r.replies, r.host_replies),
+        ));
+    }
+    for st in Strategy::ALL {
+        let s = st.label();
+        // Rolling restart: all three replicas cycle with zero lost replies
+        // and no connection cut at a drain deadline.
+        let rr = find("rolling-restart", s);
+        out.push(Check::new(
+            &format!("rolling-restart/{s}: 3 restarts, zero lost replies"),
+            rr.restarts == 3 && rr.lost == 0 && rr.drain_aborted == 0,
+            format!(
+                "restarts {} lost {} aborted {}",
+                rr.restarts, rr.lost, rr.drain_aborted
+            ),
+        ));
+        // One replica down: ejection, recovery readmission, nothing lost.
+        let od = find("one-down", s);
+        out.push(Check::new(
+            &format!("one-down/{s}: ejected, readmitted, zero lost replies"),
+            od.ejections >= 1 && od.readmissions >= 1 && od.lost == 0,
+            format!(
+                "ejections {} readmissions {} lost {} (retries {}, redirects {})",
+                od.ejections, od.readmissions, od.lost, od.failover_retries, od.redirects
+            ),
+        ));
+        // Surge failover: the survivor pair absorbs the wave losslessly.
+        let sf = find("surge-failover", s);
+        out.push(Check::new(
+            &format!("surge-failover/{s}: surge absorbed with zero lost replies"),
+            sf.lost == 0 && sf.ejections >= 1,
+            format!("lost {} ejections {}", sf.lost, sf.ejections),
+        ));
+    }
+    // The acceptance gate: under least-connections, fleet goodput never
+    // falls below 2/3 of steady state while one of three replicas is dead.
+    let od = find("one-down", "least-conn");
+    out.push(Check::new(
+        "one-down/least-conn: goodput floor ≥ 2/3 of steady state",
+        od.floor_frac >= 2.0 / 3.0,
+        format!(
+            "floor {:.0}% of steady ({:.0} rps)",
+            od.floor_frac * 100.0,
+            od.impact.before_rps
+        ),
+    ));
+    // Failover must not unbound tail latency: p99 stays under the client
+    // timeout (nothing waited to the bitter end for a reply that moved).
+    out.push(Check::new(
+        "one-down/least-conn: p99 bounded during failover",
+        od.p99_ms < 10_000.0,
+        format!("p99 {:.0} ms", od.p99_ms),
+    ));
+    // A browned-out replica degrades the fleet but the balancer's routing
+    // keeps the lights on, and throughput returns once the brownout clears.
+    let os = find("one-slow", "least-conn");
+    out.push(Check::new(
+        "one-slow/least-conn: fleet recovers after the brownout clears",
+        os.impact.recovered() && os.lost == 0,
+        format!(
+            "before {:.0} during {:.0} after {:.0} rps, ttr {:?}, lost {}",
+            os.impact.before_rps,
+            os.impact.during_rps,
+            os.impact.after_rps,
+            os.impact.time_to_recover_s,
+            os.lost
+        ),
+    ));
+    // Split capacity: a half-speed replica must not sink the fleet or
+    // leak replies under any strategy.
+    for st in Strategy::ALL {
+        let sc = find("split-capacity", st.label());
+        out.push(Check::new(
+            &format!("split-capacity/{}: graded replica costs no replies", st.label()),
+            sc.lost == 0 && sc.ejections == 0,
+            format!("lost {} ejections {}", sc.lost, sc.ejections),
+        ));
+    }
+    out
+}
+
+/// Render the per-run table.
+pub fn render_fleet(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6} {:>8} {:>7} {:>8}\n",
+        "scenario",
+        "strategy",
+        "before",
+        "during",
+        "after",
+        "floor%",
+        "ttr(s)",
+        "lost",
+        "retries",
+        "eject",
+        "readmit"
+    ));
+    for r in &report.runs {
+        let ttr = r
+            .impact
+            .time_to_recover_s
+            .map(|t| format!("{t:.0}"))
+            .unwrap_or_else(|| "never".to_string());
+        out.push_str(&format!(
+            "{:<16} {:<12} {:>8.0} {:>8.0} {:>8.0} {:>7.0} {:>7} {:>6} {:>8} {:>7} {:>8}\n",
+            r.scenario,
+            r.strategy,
+            r.impact.before_rps,
+            r.impact.during_rps,
+            r.impact.after_rps,
+            r.floor_frac * 100.0,
+            ttr,
+            r.lost,
+            r.failover_retries,
+            r.ejections,
+            r.readmissions
+        ));
+    }
+    out
+}
+
+/// Re-run the one-down/least-conn cell with observability on and render
+/// fleet-aggregate plus per-replica gauges as JSONL (the existing schema:
+/// one `meta` line then `gauge` lines per log).
+pub fn fleet_jsonl(smoke: bool) -> String {
+    use obs::export::{gauge_line, ExportMeta};
+    let mut cfg = fleet_config("one-down", Strategy::LeastConn, smoke);
+    cfg.obs = Some(obs::ObsConfig::default());
+    let tb = run_fleet(cfg);
+    let meta = ExportMeta::new("sim", "fleet/one-down/least-conn")
+        .with("scenario", "one-down")
+        .with("strategy", "least-conn")
+        .with("hosts", tb.config().num_hosts as u64);
+    let mut out = obs::export::to_jsonl(&tb.obs, &meta, 0);
+    for (h, log) in tb.host_gauges.iter().enumerate() {
+        let hm = ExportMeta::new("sim", format!("fleet/one-down/least-conn/host{h}"))
+            .with("host", h as u64);
+        out.push_str(&hm.line().render());
+        out.push('\n');
+        for s in log.samples() {
+            out.push_str(&gauge_line(s).render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_passes_its_own_checks() {
+        let report = run_fleet_matrix(true);
+        assert_eq!(report.runs.len(), 15, "5 scenarios x 3 strategies");
+        assert!(
+            report.checks.iter().all(|c| c.pass),
+            "{}",
+            crate::render_checks(&report.checks)
+        );
+    }
+
+    #[test]
+    fn render_has_a_row_per_run() {
+        let report = run_fleet_matrix(true);
+        let table = render_fleet(&report);
+        assert_eq!(table.lines().count(), report.runs.len() + 1);
+        for r in &report.runs {
+            assert!(table.contains(&r.scenario));
+        }
+    }
+
+    #[test]
+    fn jsonl_exports_fleet_and_per_host_gauges() {
+        let doc = fleet_jsonl(true);
+        // One aggregate meta line plus one per host.
+        let metas = doc
+            .lines()
+            .filter(|l| l.contains("\"type\":\"meta\""))
+            .count();
+        assert_eq!(metas, 4, "aggregate + 3 hosts");
+        assert!(doc.lines().any(|l| l.contains("\"gauge\":\"open-conns\"")));
+    }
+}

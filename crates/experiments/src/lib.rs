@@ -12,13 +12,16 @@
 //! * [`capacity`] — the USL capacity observatory behind
 //!   `repro observe capacity` and its `CAPACITY_baseline.json` σ/κ gate;
 //! * [`resilience`] — the adversarial-client survival harness and Fig-3
-//!   lifecycle-policy sweep behind `repro resilience`.
+//!   lifecycle-policy sweep behind `repro resilience`;
+//! * [`fleet`] — the replicated-server fleet-resilience matrix behind
+//!   `repro fleet` (failover, rolling restarts, zero-lost-reply gates).
 
 pub mod capacity;
 pub mod catalog;
 pub mod chaos;
 pub mod checks;
 pub mod figure;
+pub mod fleet;
 pub mod observe;
 pub mod perfbench;
 pub mod resilience;
@@ -33,6 +36,9 @@ pub use capacity::{
 };
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
+pub use fleet::{
+    fleet_jsonl, render_fleet, run_fleet_matrix, FleetReport, FleetRun, FLEET_SCENARIOS,
+};
 pub use resilience::{
     render_resilience, run_resilience, PolicyRun, ResilienceReport, ResilienceRun, GOODPUT_FLOOR,
 };

@@ -174,6 +174,8 @@ fn bench_load(target: std::net::SocketAddr, duration: Duration) -> loadgen::Load
         seed: BENCH_SEED,
         obs: None,
         retry: None,
+        failover: Vec::new(),
+        failover_budget: 0,
     }
 }
 

@@ -379,13 +379,13 @@ fn resilience_checks(runs: &[ResilienceRun], sweep: &[PolicyRun]) -> Vec<Check> 
         ));
     }
     // The deadlines actually fire: each dribbling attack is disposed of,
-    // not merely outlasted. (NeverReads against the thread pool is the
-    // documented exception — a blocking write has no write-stall deadline;
-    // the pool survives on thread headroom instead.)
+    // not merely outlasted. Never-reads is now disposed by both
+    // architectures — the pool arms `SO_SNDTIMEO` from the same
+    // `write_stall_timeout` the event server enforces in its selector.
     for r in runs {
         let must_dispose = match r.attack.as_str() {
-            "slow-loris" | "byte-drip" => true,
-            "never-reads" | "idle-flood" => r.arch.starts_with("nio"),
+            "slow-loris" | "byte-drip" | "never-reads" => true,
+            "idle-flood" => r.arch.starts_with("nio"),
             _ => false,
         };
         if must_dispose {

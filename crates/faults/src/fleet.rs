@@ -1,0 +1,222 @@
+//! Per-host fault scoping for fleet scenarios, plus the bounded retry
+//! budget the balancer spends when it replays idempotent requests against a
+//! sibling replica.
+//!
+//! A single-SUT [`FaultPlan`](crate::FaultPlan) describes *what* goes wrong;
+//! a [`FleetFaultPlan`] additionally says *where*: every event is pinned to
+//! one replica index. The catalog from PR-2/PR-4 composes unchanged — a
+//! named plan can be replayed verbatim against host `i` of an N-host fleet
+//! while the balancer watches that host fail and recover.
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// One fault event scoped to one replica of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostFault {
+    /// Replica index the event replays against (0-based).
+    pub host: usize,
+    pub event: FaultEvent,
+}
+
+/// A named, deterministic schedule of per-host faults. Link indices inside
+/// each event are interpreted *relative to the scoped host* (link 0 is that
+/// host's backend path), so any catalog plan validated for a one-link
+/// testbed scopes cleanly to any replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultPlan {
+    pub name: String,
+    pub faults: Vec<HostFault>,
+}
+
+impl FleetFaultPlan {
+    pub fn new(name: &str, faults: Vec<HostFault>) -> FleetFaultPlan {
+        FleetFaultPlan {
+            name: name.to_string(),
+            faults,
+        }
+    }
+
+    /// Replay an existing single-SUT plan against one replica: every event
+    /// of `plan` is scoped to `host`, and the fleet plan inherits a
+    /// `name@host` label so tables stay readable.
+    pub fn scoped(plan: &FaultPlan, host: usize) -> FleetFaultPlan {
+        FleetFaultPlan {
+            name: format!("{}@{host}", plan.name),
+            faults: plan
+                .events
+                .iter()
+                .map(|&event| HostFault { host, event })
+                .collect(),
+        }
+    }
+
+    /// Scope a named catalog plan (`FaultPlan::named`) to one replica.
+    pub fn named_scoped(name: &str, host: usize) -> Option<FleetFaultPlan> {
+        FaultPlan::named(name).map(|p| FleetFaultPlan::scoped(&p, host))
+    }
+
+    /// Merge another fleet plan's faults into this one (for multi-host
+    /// scenarios such as rolling fault sweeps).
+    pub fn merged(mut self, other: FleetFaultPlan) -> FleetFaultPlan {
+        self.name = format!("{}+{}", self.name, other.name);
+        self.faults.extend(other.faults);
+        self
+    }
+
+    /// Latest end time across all scoped events (ns).
+    pub fn horizon_ns(&self) -> u64 {
+        self.faults
+            .iter()
+            .map(|f| f.event.end_ns())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All faults scoped to `host`, as a single-SUT plan fragment, in
+    /// schedule order. This is the bridge the fleet testbed uses: each
+    /// replica replays its own fragment with the single-SUT semantics.
+    pub fn for_host(&self, host: usize) -> Vec<FaultEvent> {
+        let mut evs: Vec<FaultEvent> = self
+            .faults
+            .iter()
+            .filter(|f| f.host == host)
+            .map(|f| f.event)
+            .collect();
+        evs.sort_by_key(|e| (e.start_ns, e.duration_ns));
+        evs
+    }
+
+    /// Check the plan is executable against a fleet of `num_hosts` replicas,
+    /// each with `links_per_host` links on its backend path. Per-host
+    /// fragments must individually satisfy the single-SUT validation rules
+    /// (including the no-overlap rule, now scoped per host).
+    pub fn validate(&self, num_hosts: usize, links_per_host: usize) -> Result<(), String> {
+        if num_hosts == 0 {
+            return Err("fleet has zero hosts".to_string());
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.host >= num_hosts {
+                return Err(format!(
+                    "fault {i} ({}) targets host {} but the fleet has {num_hosts}",
+                    f.event.kind.label(),
+                    f.host
+                ));
+            }
+        }
+        for host in 0..num_hosts {
+            let frag = self.for_host(host);
+            if frag.is_empty() {
+                continue;
+            }
+            FaultPlan::new(&format!("{}@{host}", self.name), frag)
+                .validate(links_per_host)
+                .map_err(|e| format!("host {host}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded, per-run budget of balancer-initiated retries. Every time the
+/// balancer replays an idempotent request against a sibling (because the
+/// original replica died with the reply still owed), it must *take* from
+/// this budget first; once the budget is dry, further failures surface to
+/// the client as lost replies instead of being silently absorbed. Keeping
+/// the spend explicit is what lets reports state "zero lost replies" as a
+/// checked fact rather than an accounting artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Total balancer-initiated retries allowed for the run.
+    pub max: u64,
+    /// Retries spent so far.
+    pub used: u64,
+}
+
+impl RetryBudget {
+    pub fn new(max: u64) -> RetryBudget {
+        RetryBudget { max, used: 0 }
+    }
+
+    /// Retries still available.
+    pub fn remaining(&self) -> u64 {
+        self.max - self.used
+    }
+
+    /// Spend one retry. Returns `false` (and spends nothing) once the
+    /// budget is exhausted.
+    pub fn try_take(&mut self) -> bool {
+        if self.used < self.max {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, PLAN_NAMES};
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn catalog_scopes_to_any_host() {
+        for name in PLAN_NAMES {
+            for host in 0..3 {
+                let plan = FleetFaultPlan::named_scoped(name, host).expect(name);
+                plan.validate(3, 1).expect(name);
+                assert!(plan.name.starts_with(name));
+                assert_eq!(plan.for_host(host).len(), plan.faults.len());
+                for other in (0..3).filter(|&h| h != host) {
+                    assert!(plan.for_host(other).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_host() {
+        let plan = FleetFaultPlan::named_scoped("outage", 5).unwrap();
+        assert!(plan.validate(3, 1).is_err());
+        assert!(plan.validate(6, 1).is_ok());
+    }
+
+    #[test]
+    fn overlap_rule_is_per_host() {
+        let out = |host: usize, start_s: u64| HostFault {
+            host,
+            event: FaultEvent {
+                start_ns: start_s * SEC,
+                duration_ns: 5 * SEC,
+                kind: FaultKind::LinkOutage { link: 0 },
+            },
+        };
+        // Same window on *different* hosts is fine...
+        let plan = FleetFaultPlan::new("par", vec![out(0, 1), out(1, 1)]);
+        assert!(plan.validate(2, 1).is_ok());
+        // ...but overlapping on the same host is still rejected.
+        let plan = FleetFaultPlan::new("clash", vec![out(0, 1), out(0, 4)]);
+        assert!(plan.validate(2, 1).is_err());
+    }
+
+    #[test]
+    fn merged_concatenates_and_renames() {
+        let a = FleetFaultPlan::named_scoped("outage", 0).unwrap();
+        let b = FleetFaultPlan::named_scoped("stall", 1).unwrap();
+        let m = a.clone().merged(b.clone());
+        assert_eq!(m.faults.len(), a.faults.len() + b.faults.len());
+        assert_eq!(m.name, "outage@0+stall@1");
+        assert!(m.validate(2, 1).is_ok());
+    }
+
+    #[test]
+    fn budget_spends_to_zero_then_refuses() {
+        let mut b = RetryBudget::new(2);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.used, 2);
+    }
+}

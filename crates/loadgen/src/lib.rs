@@ -18,6 +18,7 @@ use metrics::{ClientError, ErrorCounters, Histogram};
 use obs::{EndReason, Obs, ObsConfig, Span, Stage};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use workload::{FileSet, SessionConfig, SessionPlan};
 
@@ -44,6 +45,17 @@ pub struct LoadConfig {
     /// default) preserves the faithful httperf behaviour: fail, count, move
     /// on. Mirrors `ClientConfig::retry` on the sim side.
     pub retry: Option<faults::RetryPolicy>,
+    /// Sibling targets for balancer-style failover: when a session fails
+    /// and the shared `failover_budget` still has units, the client retries
+    /// immediately against the next sibling (round-robin) instead of
+    /// backing off against the dead primary, and sticks with it until it
+    /// too fails. Empty (the default) disables failover.
+    pub failover: Vec<SocketAddr>,
+    /// Explicit per-run failover budget shared by every client thread.
+    /// Each sibling retry draws one unit; at zero, failure handling falls
+    /// back to the ordinary `retry`/pacing path. Keeps failover retries
+    /// bounded and accounted apart from client-initiated retries.
+    pub failover_budget: u64,
 }
 
 impl Default for LoadConfig {
@@ -58,6 +70,8 @@ impl Default for LoadConfig {
             seed: 0x010A_D6E4,
             obs: None,
             retry: None,
+            failover: Vec::new(),
+            failover_budget: 0,
         }
     }
 }
@@ -73,6 +87,10 @@ pub struct LoadReport {
     /// Backoff-delayed re-attempts taken under `LoadConfig::retry` (counted
     /// separately — never folded into `requests` or the error counters).
     pub retries: u64,
+    /// Immediate sibling re-attempts drawn from `failover_budget` —
+    /// balancer-failover retries, reported apart from the client-initiated
+    /// `retries` so the two recovery mechanisms stay distinguishable.
+    pub failover_retries: u64,
     pub errors: ErrorCounters,
     /// Per-reply response time, µs.
     pub response_time_us: Histogram,
@@ -95,6 +113,7 @@ impl LoadReport {
             sessions_completed: 0,
             sessions_aborted: 0,
             retries: 0,
+            failover_retries: 0,
             errors: ErrorCounters::default(),
             response_time_us: Histogram::default_precision(),
             connect_time_us: Histogram::default_precision(),
@@ -110,6 +129,7 @@ impl LoadReport {
         self.sessions_completed += other.sessions_completed;
         self.sessions_aborted += other.sessions_aborted;
         self.retries += other.retries;
+        self.failover_retries += other.failover_retries;
         self.errors.merge(&other.errors);
         self.response_time_us.merge(&other.response_time_us);
         self.connect_time_us.merge(&other.connect_time_us);
@@ -122,7 +142,7 @@ impl LoadReport {
             "replies: {} ({:.0}/s)  requests: {}  bytes: {}\n\
              response time: mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms\n\
              connect time:  mean {:.2} ms\n\
-             sessions: {} completed, {} aborted ({} retries)\n\
+             sessions: {} completed, {} aborted ({} retries, {} failover)\n\
              errors: {} client-timeout, {} connection-reset, {} refused, {} socket",
             self.replies,
             self.throughput_rps(),
@@ -135,6 +155,7 @@ impl LoadReport {
             self.sessions_completed,
             self.sessions_aborted,
             self.retries,
+            self.failover_retries,
             self.errors.client_timeout,
             self.errors.connection_reset,
             self.errors.connection_refused,
@@ -157,11 +178,14 @@ pub fn run(cfg: &LoadConfig, files: &FileSet) -> LoadReport {
     assert!(cfg.clients > 0);
     let start = Instant::now();
     let deadline = start + cfg.duration;
+    // One failover budget for the whole run, shared by every client thread.
+    let budget = std::sync::atomic::AtomicU64::new(cfg.failover_budget);
+    let budget = &budget;
     let reports: Vec<LoadReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
                 let cfg = cfg.clone();
-                scope.spawn(move || client_loop(&cfg, files, i as u64, start, deadline))
+                scope.spawn(move || client_loop(&cfg, files, i as u64, start, deadline, budget))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
@@ -232,12 +256,35 @@ fn classify(e: &io::Error) -> ExchangeEnd {
     }
 }
 
+/// Pick the failover sibling for a failed session, drawing one unit from
+/// the run's shared budget — `None` when failover is off or the budget is
+/// spent, in which case ordinary retry/pacing applies.
+fn failover_target(cfg: &LoadConfig, budget: &AtomicU64, next: &mut usize) -> Option<SocketAddr> {
+    if cfg.failover.is_empty() {
+        return None;
+    }
+    let mut cur = budget.load(Ordering::Relaxed);
+    loop {
+        if cur == 0 {
+            return None;
+        }
+        match budget.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    let t = cfg.failover[*next % cfg.failover.len()];
+    *next += 1;
+    Some(t)
+}
+
 fn client_loop(
     cfg: &LoadConfig,
     files: &FileSet,
     id: u64,
     epoch: Instant,
     deadline: Instant,
+    budget: &AtomicU64,
 ) -> LoadReport {
     let mut report = LoadReport::new();
     if let Some(oc) = &cfg.obs {
@@ -251,6 +298,10 @@ fn client_loop(
     // Consecutive failed sessions (drives the backoff curve under
     // `cfg.retry`); reset by any successful connect.
     let mut retry_attempt: u32 = 0;
+    // Where this client currently sends: the primary until a failed session
+    // fails over to a sibling (stays there until that sibling fails too).
+    let mut target = cfg.target;
+    let mut next_sibling = id as usize;
     'sessions: while Instant::now() < deadline {
         let plan = SessionPlan::generate(&cfg.session, files, &mut rng);
         conn_seq += 1;
@@ -263,7 +314,7 @@ fn client_loop(
             break;
         }
         let stream = TcpStream::connect_timeout(
-            &cfg.target,
+            &target,
             cfg.client_timeout.min(remaining.max(Duration::from_millis(10))),
         );
         let mut stream = match stream {
@@ -291,6 +342,11 @@ fn client_loop(
                     report.obs.requests.finish_next(conn, ns_since(epoch), reason);
                 }
                 report.sessions_aborted += 1;
+                if let Some(sib) = failover_target(cfg, budget, &mut next_sibling) {
+                    report.failover_retries += 1;
+                    target = sib;
+                    continue; // immediate retry against the sibling
+                }
                 backoff_or_pace(
                     cfg,
                     &mut report,
@@ -363,6 +419,11 @@ fn client_loop(
                 ExchangeEnd::Timeout => {
                     report.errors.record(ClientError::ClientTimeout);
                     report.sessions_aborted += 1;
+                    if let Some(sib) = failover_target(cfg, budget, &mut next_sibling) {
+                        report.failover_retries += 1;
+                        target = sib;
+                        continue 'sessions;
+                    }
                     backoff_or_pace(
                         cfg,
                         &mut report,
@@ -380,6 +441,11 @@ fn client_loop(
                         ClientError::ConnectionReset
                     });
                     report.sessions_aborted += 1;
+                    if let Some(sib) = failover_target(cfg, budget, &mut next_sibling) {
+                        report.failover_retries += 1;
+                        target = sib;
+                        continue 'sessions;
+                    }
                     backoff_or_pace(
                         cfg,
                         &mut report,
@@ -393,6 +459,11 @@ fn client_loop(
                 ExchangeEnd::OtherError => {
                     report.errors.record(ClientError::SocketError);
                     report.sessions_aborted += 1;
+                    if let Some(sib) = failover_target(cfg, budget, &mut next_sibling) {
+                        report.failover_retries += 1;
+                        target = sib;
+                        continue 'sessions;
+                    }
                     backoff_or_pace(
                         cfg,
                         &mut report,
@@ -535,6 +606,8 @@ mod tests {
             seed: 42,
             obs: None,
             retry: None,
+            failover: Vec::new(),
+            failover_budget: 0,
         }
     }
 
@@ -717,6 +790,72 @@ mod tests {
             "backoff not applied: {} aborts",
             report.sessions_aborted
         );
+    }
+
+    #[test]
+    fn failover_draws_from_budget_and_is_counted_apart() {
+        // Dead primary, live sibling: with failover configured each client
+        // burns one budget unit to move to the sibling, then serves real
+        // sessions there — no client-retry accounting involved.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let files = small_files();
+        let content = Arc::new(ContentStore::from_fileset(&files));
+        let server = poolserver::PoolServer::start(poolserver::PoolConfig {
+            pool_size: 4,
+            lifecycle: httpcore::LifecyclePolicy::default(),
+            shed_watermark: None,
+            content,
+        })
+        .unwrap();
+        let cfg = LoadConfig {
+            clients: 3,
+            duration: Duration::from_millis(800),
+            failover: vec![server.addr()],
+            failover_budget: 8,
+            ..quick_cfg(dead)
+        };
+        let report = run(&cfg, &files);
+        assert!(
+            report.failover_retries >= 1 && report.failover_retries <= 8,
+            "failover retries {} outside the budget",
+            report.failover_retries
+        );
+        assert!(report.replies > 0, "sibling never served after failover");
+        assert_eq!(
+            report.retries, 0,
+            "failover must not be folded into client retries"
+        );
+        assert!(report.errors.connection_refused > 0, "{:?}", report.errors);
+        server.shutdown();
+    }
+
+    #[test]
+    fn exhausted_failover_budget_bounds_sibling_retries() {
+        // Budget 1, three clients, dead primary AND dead sibling: exactly
+        // one sibling retry happens; everyone else stays on the ordinary
+        // fail-count-pace path.
+        fn dead_addr() -> SocketAddr {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        }
+        let files = small_files();
+        let cfg = LoadConfig {
+            clients: 3,
+            duration: Duration::from_millis(400),
+            failover: vec![dead_addr()],
+            failover_budget: 1,
+            ..quick_cfg(dead_addr())
+        };
+        let report = run(&cfg, &files);
+        assert_eq!(
+            report.failover_retries, 1,
+            "budget of 1 must admit exactly one failover retry"
+        );
+        assert_eq!(report.replies, 0);
+        assert!(report.sessions_aborted > 1);
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl ExportMeta {
         self
     }
 
-    fn line(&self) -> Json {
+    /// Render the leading `meta` line. Public so composite exports (e.g.
+    /// per-replica fleet gauge sections) can emit their own meta headers.
+    pub fn line(&self) -> Json {
         let mut pairs = vec![
             ("type", Json::from("meta")),
             ("source", Json::from(self.source)),

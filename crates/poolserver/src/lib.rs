@@ -47,9 +47,10 @@ pub struct PoolConfig {
     /// `Timeout` — which, as the paper explains, a threaded server cannot
     /// afford to leave unset under load); `header_timeout` bounds slow-loris
     /// head dribbling; the accept-path defenses (`fd_reserve`, `max_conns`)
-    /// apply as in the event server. `write_stall_timeout` is not enforced
-    /// here: a blocking write already binds the thread, which is this
-    /// architecture's failure mode, not a policy violation.
+    /// apply as in the event server. `write_stall_timeout` arms
+    /// `SO_SNDTIMEO` on every accepted socket, so a blocking write to a
+    /// peer that never drains errors out (and the connection is reset)
+    /// instead of wedging the thread for as long as the peer likes.
     pub lifecycle: LifecyclePolicy,
     /// Load shedding: refuse new connections (abortive close on accept)
     /// while at least this many threads are already bound. None = admit
@@ -454,6 +455,10 @@ fn serve_connection(
     // one blocking vectored write, so the thread overlaps the kernel's
     // drain with reading the next request.
     let _ = set_sndbuf(&stream, 1 << 19);
+    // SO_SNDTIMEO from the lifecycle policy: a write that makes no progress
+    // for this long (the never-reads shape) fails with a timeout error
+    // instead of binding the thread until the peer deigns to drain.
+    let _ = stream.set_write_timeout(cfg.lifecycle.write_stall_timeout);
     // Blocking reads with the idle timeout as the read timeout — exactly the
     // Apache `Timeout` directive's mechanism. Bounded by 1 s slices so the
     // thread also notices server shutdown, and by the header deadline so a
@@ -512,8 +517,9 @@ fn serve_connection(
                             hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
                             let keep = req.keep_alive();
                             in_flight.store(true, Ordering::SeqCst);
-                            let sent =
-                                respond(cfg, &mut stream, stats, &req, &date, &mut head, hists);
+                            let sent = respond(
+                                cfg, &mut stream, stats, ends, &req, &date, &mut head, hists,
+                            );
                             in_flight.store(false, Ordering::SeqCst);
                             p0 = Instant::now();
                             // Hand the request's allocations back for the
@@ -599,6 +605,7 @@ fn respond(
     cfg: &PoolConfig,
     stream: &mut TcpStream,
     stats: &PoolStats,
+    ends: &LiveEnds,
     req: &httpcore::Request,
     date: &str,
     head: &mut Vec<u8>,
@@ -657,7 +664,19 @@ fn respond(
                 .fetch_add((head.len() + body.len()) as u64, Ordering::Relaxed);
             true
         }
-        Err(_) => false,
+        Err(e) => {
+            // SO_SNDTIMEO expiry (the peer never drained): an abortive
+            // close so the stall is visible as a reset, tallied apart from
+            // ordinary peer-vanished write errors.
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                ends.record(EndCause::WriteStall);
+                let _ = set_linger_zero(stream);
+            }
+            false
+        }
     };
     hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
     out
@@ -938,6 +957,65 @@ mod tests {
         drop(held); // closes the first connection, freeing the thread
         let (status, _) = t.join().unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_stall_frees_wedged_thread_for_next_client() {
+        // Two 8 MB files: far larger than the server's send buffer plus a
+        // never-reading client's receive window, so the blocking reply
+        // write wedges the pool's only thread.
+        let mut rng = Rng::new(3);
+        let fs = FileSet::build(
+            &SurgeConfig {
+                num_files: 2,
+                tail_prob: 0.0,
+                min_bytes: 8 * 1024 * 1024,
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        );
+        let content = Arc::new(ContentStore::from_fileset(&fs));
+        let server = PoolServer::start(PoolConfig {
+            pool_size: 1,
+            lifecycle: LifecyclePolicy {
+                write_stall_timeout: Some(Duration::from_millis(500)),
+                ..LifecyclePolicy::default()
+            },
+            shed_watermark: None,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let addr = server.addr();
+        // The never-reads client: ask for the huge file, then never drain.
+        let mut wedger = TcpStream::connect(addr).unwrap();
+        write!(wedger, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        // A well-behaved client queues behind the wedged thread...
+        let t = std::thread::spawn(move || get(addr, "/f/1"));
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(
+            !t.is_finished(),
+            "second client should be stuck behind the wedged thread"
+        );
+        // ...until SO_SNDTIMEO expires, the stalled write errors out, and
+        // the reclaimed thread serves it in full.
+        let (status, body) = t.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, content.body(workload::FileId(1)));
+        assert_eq!(server.ends().get(EndCause::WriteStall), 1);
+        // The wedge observes the abortive close instead of a clean FIN.
+        wedger
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut tmp = [0u8; 65536];
+        let dead = loop {
+            match wedger.read(&mut tmp) {
+                Ok(0) => break true,
+                Ok(_) => continue,
+                Err(_) => break true,
+            }
+        };
+        assert!(dead, "stalled connection must be torn down");
         server.shutdown();
     }
 

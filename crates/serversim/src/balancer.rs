@@ -1,0 +1,496 @@
+//! Fault-aware load balancer fronting N replicated server hosts.
+//!
+//! The balancer is a *pure* state machine — no events, no clock — so the
+//! fleet testbed can drive it in virtual time and proptests can drive it
+//! with arbitrary call sequences. It owns three things:
+//!
+//! * **routing** — one of three strategies ([`Strategy`]): round-robin,
+//!   least-connections, and consistent hashing keyed like `SO_REUSEPORT`
+//!   sharding (key hashes into a fixed slot table of `128·N` slots whose
+//!   base owner is `slot % N`; a slot only moves off its base owner while
+//!   that owner is unroutable, which is what makes ejection disturb exactly
+//!   the ejected host's `1/N` of the key space and nothing else);
+//! * **health** — a per-host state machine ([`HealthState`]) fed by active
+//!   probe results and passive failure signals (refusals, resets, timeout
+//!   expiries), with rise/fall hysteresis from [`HealthConfig`];
+//! * **accounting** — open-connection counts per host (the least-conn
+//!   signal) and ejection/readmission totals for reports.
+
+/// How the balancer spreads new connections across routable hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Next routable host in index order, one per pick.
+    RoundRobin,
+    /// Routable host with the fewest open connections (ties to the lowest
+    /// index, so the choice is deterministic).
+    LeastConn,
+    /// `SO_REUSEPORT`-style hashing: the key picks a fixed slot, the slot
+    /// names a base host, and only unroutable base owners cause fallback.
+    ConsistentHash,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [
+        Strategy::RoundRobin,
+        Strategy::LeastConn,
+        Strategy::ConsistentHash,
+    ];
+
+    /// Stable label used in tables, series names and JSONL exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::RoundRobin => "round-robin",
+            Strategy::LeastConn => "least-conn",
+            Strategy::ConsistentHash => "hash",
+        }
+    }
+}
+
+/// Active health-check knobs: how often to probe and how much hysteresis
+/// to apply before flipping a host's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Interval between probe rounds (every host is probed each round).
+    pub probe_interval_ns: u64,
+    /// A probe not answered within this window counts as a failure.
+    pub probe_timeout_ns: u64,
+    /// Consecutive probe successes before an ejected host is readmitted.
+    pub rise: u32,
+    /// Consecutive failures (probe or passive) before a healthy host is
+    /// ejected.
+    pub fall: u32,
+}
+
+impl Default for HealthConfig {
+    /// 500 ms probe cadence, 250 ms probe deadline, 2-up/2-down hysteresis.
+    fn default() -> HealthConfig {
+        HealthConfig {
+            probe_interval_ns: 500_000_000,
+            probe_timeout_ns: 250_000_000,
+            rise: 2,
+            fall: 2,
+        }
+    }
+}
+
+/// Routing state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// In rotation: eligible for new connections.
+    Healthy,
+    /// Out of rotation after failed probes / passive signals; probes keep
+    /// running and `rise` consecutive successes readmit it.
+    Ejected,
+    /// Administratively out of rotation (rolling restart): no new
+    /// connections, existing ones finish; probes do *not* readmit it.
+    Draining,
+}
+
+impl HealthState {
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Ejected => "ejected",
+            HealthState::Draining => "draining",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HostSlot {
+    state: HealthState,
+    ok_streak: u32,
+    fail_streak: u32,
+    open_conns: u64,
+}
+
+impl HostSlot {
+    fn new() -> HostSlot {
+        HostSlot {
+            state: HealthState::Healthy,
+            ok_streak: 0,
+            fail_streak: 0,
+            open_conns: 0,
+        }
+    }
+}
+
+/// SplitMix64 — the same mixing the deterministic sim RNG uses, applied to
+/// routing keys so slot spread is uniform regardless of key structure.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Slots per host in the consistent-hash table. The table has `SLOTS_PER_HOST
+/// * N` entries so every host's base share is exactly `1/N` of the key space.
+pub const SLOTS_PER_HOST: usize = 128;
+
+/// The fault-aware balancer. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    strategy: Strategy,
+    health: HealthConfig,
+    hosts: Vec<HostSlot>,
+    rr_cursor: usize,
+    ejections: u64,
+    readmissions: u64,
+}
+
+impl LoadBalancer {
+    pub fn new(num_hosts: usize, strategy: Strategy, health: HealthConfig) -> LoadBalancer {
+        assert!(num_hosts > 0, "balancer needs at least one host");
+        LoadBalancer {
+            strategy,
+            health,
+            hosts: vec![HostSlot::new(); num_hosts],
+            rr_cursor: 0,
+            ejections: 0,
+            readmissions: 0,
+        }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    pub fn health_config(&self) -> HealthConfig {
+        self.health
+    }
+
+    pub fn state(&self, host: usize) -> HealthState {
+        self.hosts[host].state
+    }
+
+    /// Eligible for *new* connections right now.
+    pub fn routable(&self, host: usize) -> bool {
+        self.hosts[host].state == HealthState::Healthy
+    }
+
+    pub fn healthy_count(&self) -> usize {
+        self.hosts
+            .iter()
+            .filter(|h| h.state == HealthState::Healthy)
+            .count()
+    }
+
+    pub fn open_conns(&self, host: usize) -> u64 {
+        self.hosts[host].open_conns
+    }
+
+    pub fn ejections(&self) -> u64 {
+        self.ejections
+    }
+
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
+    }
+
+    /// Total consistent-hash slots for this fleet size.
+    fn slot_count(&self) -> usize {
+        SLOTS_PER_HOST * self.hosts.len()
+    }
+
+    /// The slot a routing key hashes into (stable across health changes).
+    pub fn slot_of(&self, key: u64) -> usize {
+        (mix64(key) % self.slot_count() as u64) as usize
+    }
+
+    /// The host a consistent-hash slot routes to: its base owner
+    /// (`slot % N`) while routable, else the next routable host in index
+    /// order. Returns `None` when no host is routable.
+    fn slot_owner(&self, slot: usize) -> Option<usize> {
+        let n = self.hosts.len();
+        let base = slot % n;
+        (0..n)
+            .map(|step| (base + step) % n)
+            .find(|&h| self.routable(h))
+    }
+
+    /// Route a new connection. `key` is the client's routing key (ignored
+    /// by round-robin and least-conn). Returns `None` when every host is
+    /// out of rotation — the balancer refuses the connection.
+    pub fn pick(&mut self, key: u64) -> Option<usize> {
+        match self.strategy {
+            Strategy::RoundRobin => {
+                let n = self.hosts.len();
+                let start = self.rr_cursor;
+                let host = (0..n).map(|i| (start + i) % n).find(|&h| self.routable(h))?;
+                self.rr_cursor = (host + 1) % n;
+                Some(host)
+            }
+            Strategy::LeastConn => self.least_loaded(None),
+            Strategy::ConsistentHash => self.slot_owner(self.slot_of(key)),
+        }
+    }
+
+    /// Route a failover retry: a sibling for work the host `exclude` failed.
+    /// Always least-loaded among the remaining routable hosts — during a
+    /// failover spike that is the only choice that does not pile the
+    /// displaced work onto one victim.
+    pub fn pick_failover(&mut self, exclude: usize) -> Option<usize> {
+        self.least_loaded(Some(exclude))
+    }
+
+    fn least_loaded(&self, exclude: Option<usize>) -> Option<usize> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter(|(h, s)| s.state == HealthState::Healthy && Some(*h) != exclude)
+            .min_by_key(|(h, s)| (s.open_conns, *h))
+            .map(|(h, _)| h)
+    }
+
+    /// A connection was established to `host`.
+    pub fn on_conn_open(&mut self, host: usize) {
+        self.hosts[host].open_conns += 1;
+    }
+
+    /// A connection to `host` closed (any cause).
+    pub fn on_conn_close(&mut self, host: usize) {
+        let s = &mut self.hosts[host];
+        s.open_conns = s.open_conns.saturating_sub(1);
+    }
+
+    /// Re-home a connection from `from` to `to` (failover / drain handoff).
+    pub fn on_conn_moved(&mut self, from: usize, to: usize) {
+        self.on_conn_close(from);
+        self.on_conn_open(to);
+    }
+
+    /// Feed one active probe result. Returns the new state if this result
+    /// flipped the host.
+    pub fn probe_result(&mut self, host: usize, ok: bool) -> Option<HealthState> {
+        let (rise, fall) = (self.health.rise, self.health.fall);
+        let s = &mut self.hosts[host];
+        match s.state {
+            HealthState::Healthy => {
+                if ok {
+                    s.ok_streak = s.ok_streak.saturating_add(1);
+                    s.fail_streak = 0;
+                    None
+                } else {
+                    s.fail_streak += 1;
+                    s.ok_streak = 0;
+                    (s.fail_streak >= fall).then(|| self.eject(host))
+                }
+            }
+            HealthState::Ejected => {
+                if ok {
+                    s.ok_streak += 1;
+                    s.fail_streak = 0;
+                    (s.ok_streak >= rise).then(|| self.readmit(host))
+                } else {
+                    s.fail_streak = s.fail_streak.saturating_add(1);
+                    s.ok_streak = 0;
+                    None
+                }
+            }
+            // Draining is administrative: probes must not readmit the host.
+            HealthState::Draining => None,
+        }
+    }
+
+    /// Feed one passive failure signal (refusal, reset, or timeout expiry
+    /// observed on a connection to `host`). Counts toward the same `fall`
+    /// threshold as probe failures, so a storm of resets ejects a host
+    /// between probe rounds.
+    pub fn passive_failure(&mut self, host: usize) -> Option<HealthState> {
+        if self.hosts[host].state != HealthState::Healthy {
+            return None;
+        }
+        let s = &mut self.hosts[host];
+        s.fail_streak += 1;
+        s.ok_streak = 0;
+        (s.fail_streak >= self.health.fall).then(|| self.eject(host))
+    }
+
+    /// Feed one passive success signal (a reply delivered from `host`),
+    /// clearing any accumulated passive failures.
+    pub fn passive_success(&mut self, host: usize) {
+        let s = &mut self.hosts[host];
+        if s.state == HealthState::Healthy {
+            s.fail_streak = 0;
+        }
+    }
+
+    /// Eject `host` immediately (hard failure detected out of band, e.g. a
+    /// connection refused storm or an operator signal). Idempotent.
+    pub fn force_eject(&mut self, host: usize) -> Option<HealthState> {
+        match self.hosts[host].state {
+            HealthState::Healthy | HealthState::Draining => Some(self.eject(host)),
+            HealthState::Ejected => None,
+        }
+    }
+
+    /// Take `host` out of rotation for a rolling restart. Existing
+    /// connections continue; no new ones arrive; probes will not readmit.
+    pub fn begin_drain(&mut self, host: usize) {
+        let s = &mut self.hosts[host];
+        s.state = HealthState::Draining;
+        s.ok_streak = 0;
+        s.fail_streak = 0;
+    }
+
+    /// The drained host restarted: hand it back to the prober as `Ejected`
+    /// so `rise` consecutive probe successes readmit it.
+    pub fn finish_drain(&mut self, host: usize) {
+        let s = &mut self.hosts[host];
+        debug_assert_eq!(s.state, HealthState::Draining);
+        s.state = HealthState::Ejected;
+        s.ok_streak = 0;
+        s.fail_streak = 0;
+    }
+
+    fn eject(&mut self, host: usize) -> HealthState {
+        let s = &mut self.hosts[host];
+        s.state = HealthState::Ejected;
+        s.ok_streak = 0;
+        s.fail_streak = 0;
+        self.ejections += 1;
+        HealthState::Ejected
+    }
+
+    fn readmit(&mut self, host: usize) -> HealthState {
+        let s = &mut self.hosts[host];
+        s.state = HealthState::Healthy;
+        s.ok_streak = 0;
+        s.fail_streak = 0;
+        self.readmissions += 1;
+        HealthState::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb(n: usize, strategy: Strategy) -> LoadBalancer {
+        LoadBalancer::new(n, strategy, HealthConfig::default())
+    }
+
+    #[test]
+    fn round_robin_cycles_over_healthy_hosts() {
+        let mut b = lb(3, Strategy::RoundRobin);
+        let picks: Vec<_> = (0..6).map(|_| b.pick(0).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        b.force_eject(1);
+        let picks: Vec<_> = (0..4).map(|_| b.pick(0).unwrap()).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_conn_tracks_open_connections() {
+        let mut b = lb(3, Strategy::LeastConn);
+        assert_eq!(b.pick(0), Some(0));
+        b.on_conn_open(0);
+        assert_eq!(b.pick(0), Some(1));
+        b.on_conn_open(1);
+        b.on_conn_open(1);
+        assert_eq!(b.pick(0), Some(2));
+        b.on_conn_open(2);
+        assert_eq!(b.pick(0), Some(0)); // 1 conn, ties break low
+        b.on_conn_close(1);
+        b.on_conn_close(1);
+        assert_eq!(b.pick(0), Some(1)); // back to zero
+    }
+
+    #[test]
+    fn hash_routes_stably_and_spreads() {
+        let mut b = lb(4, Strategy::ConsistentHash);
+        let mut counts = [0u64; 4];
+        for key in 0..4096u64 {
+            let h = b.pick(key).unwrap();
+            assert_eq!(b.pick(key), Some(h), "same key, same host");
+            counts[h] += 1;
+        }
+        for (h, &c) in counts.iter().enumerate() {
+            assert!(c > 700, "host {h} starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_ejection_moves_only_the_ejected_hosts_keys() {
+        let mut b = lb(4, Strategy::ConsistentHash);
+        let before: Vec<_> = (0..4096u64).map(|k| b.pick(k).unwrap()).collect();
+        b.force_eject(2);
+        for (k, &was) in before.iter().enumerate() {
+            let now = b.pick(k as u64).unwrap();
+            if was != 2 {
+                assert_eq!(now, was, "key {k} moved without cause");
+            } else {
+                assert_ne!(now, 2, "key {k} still routed to ejected host");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_hysteresis_ejects_and_readmits() {
+        let mut b = lb(2, Strategy::RoundRobin);
+        assert_eq!(b.probe_result(0, false), None); // fall=2: first miss holds
+        assert_eq!(b.probe_result(0, false), Some(HealthState::Ejected));
+        assert_eq!(b.state(0), HealthState::Ejected);
+        assert_eq!(b.ejections(), 1);
+        // One success is not enough to readmit (rise=2)...
+        assert_eq!(b.probe_result(0, true), None);
+        // ...and a failure resets the streak.
+        assert_eq!(b.probe_result(0, false), None);
+        assert_eq!(b.probe_result(0, true), None);
+        assert_eq!(b.probe_result(0, true), Some(HealthState::Healthy));
+        assert_eq!(b.readmissions(), 1);
+    }
+
+    #[test]
+    fn passive_failures_eject_between_probes() {
+        let mut b = lb(2, Strategy::LeastConn);
+        assert_eq!(b.passive_failure(1), None);
+        b.passive_success(1); // a delivered reply clears the streak
+        assert_eq!(b.passive_failure(1), None);
+        assert_eq!(b.passive_failure(1), Some(HealthState::Ejected));
+        assert_eq!(b.pick(0), Some(0));
+        assert_eq!(b.pick(0), Some(0));
+    }
+
+    #[test]
+    fn draining_host_gets_no_new_conns_and_probes_dont_readmit() {
+        let mut b = lb(2, Strategy::RoundRobin);
+        b.begin_drain(0);
+        for _ in 0..4 {
+            assert_eq!(b.pick(0), Some(1));
+        }
+        assert_eq!(b.probe_result(0, true), None);
+        assert_eq!(b.probe_result(0, true), None);
+        assert_eq!(b.state(0), HealthState::Draining);
+        b.finish_drain(0);
+        assert_eq!(b.state(0), HealthState::Ejected);
+        assert_eq!(b.probe_result(0, true), None);
+        assert_eq!(b.probe_result(0, true), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn no_routable_host_refuses() {
+        for strategy in Strategy::ALL {
+            let mut b = lb(2, strategy);
+            b.force_eject(0);
+            b.force_eject(1);
+            assert_eq!(b.pick(7), None, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn failover_excludes_the_dead_host() {
+        let mut b = lb(3, Strategy::ConsistentHash);
+        b.on_conn_open(1);
+        assert_eq!(b.pick_failover(0), Some(2)); // 2 has fewer conns than 1
+        b.force_eject(2);
+        assert_eq!(b.pick_failover(0), Some(1));
+        b.force_eject(1);
+        assert_eq!(b.pick_failover(0), None);
+    }
+}

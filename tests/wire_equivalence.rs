@@ -13,13 +13,21 @@
 //! bursts, heads split at awkward chunk boundaries, oversized heads
 //! (431 + close), partial heads timed out by the header deadline
 //! (408 + close), and malformed request lines (400 + close).
+//!
+//! The fleet layer adds one more differential axis: a balancer front with a
+//! single backend must be wire-invisible. Every script replayed through a
+//! live TCP proxy that routes with the real [`serversim::LoadBalancer`]
+//! (N=1, each strategy) must observe byte-identical outcomes to replaying
+//! direct-to-server — for both nio accept modes and the thread pool.
 
 #![cfg(target_os = "linux")]
 
 use desim::Rng;
 use httpcore::{ContentStore, LifecyclePolicy};
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use serversim::{HealthConfig, LoadBalancer, Strategy};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use workload::{FileSet, SurgeConfig};
@@ -291,6 +299,144 @@ fn all_accept_modes_and_architectures_answer_identical_bytes() {
             "{}: nio vs poolserver diverge on the wire",
             script.name
         );
+    }
+
+    handoff.shutdown();
+    sharded.shutdown();
+    pool.shutdown();
+}
+
+/// Copy bytes one way between two sockets, propagating EOF as a write-side
+/// shutdown so half-closes traverse the front exactly as they would a
+/// direct connection.
+fn pump(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    let _ = from.shutdown(Shutdown::Read);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // A reset also ends the stream; surface it as a close so
+                // the peer's read loop terminates the same way.
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+        }
+    }
+}
+
+/// A minimal live balancer front: accepts on its own port, asks the real
+/// `LoadBalancer` which backend each connection goes to, and splices bytes
+/// both ways. Routing only — health probing and retry accounting are
+/// exercised by the sim testbed and the balancer proptests; what this front
+/// must prove is that interposing the balancer never changes the bytes.
+struct BalancerFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BalancerFront {
+    fn start(backends: Vec<SocketAddr>, strategy: Strategy) -> BalancerFront {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind front");
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut lb = LoadBalancer::new(backends.len(), strategy, HealthConfig::default());
+            let mut key = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        key += 1;
+                        let host = lb.pick(key).expect("a routable backend");
+                        let backend =
+                            TcpStream::connect(backends[host]).expect("connect backend");
+                        client.set_nodelay(true).ok();
+                        backend.set_nodelay(true).ok();
+                        let c = client.try_clone().expect("clone client");
+                        let b = backend.try_clone().expect("clone backend");
+                        std::thread::spawn(move || pump(c, backend));
+                        std::thread::spawn(move || pump(b, client));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        BalancerFront {
+            addr,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+#[test]
+fn balancer_front_with_one_backend_is_wire_invisible() {
+    let fs = files();
+    let content = Arc::new(ContentStore::from_fileset(&fs));
+
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
+        pool_size: 4,
+        lifecycle: policy(),
+        shed_watermark: None,
+        content: Arc::clone(&content),
+    })
+    .expect("start pool server");
+
+    for (who, backend) in [
+        ("nio-handoff", handoff.addr()),
+        ("nio-sharded", sharded.addr()),
+        ("poolserver", pool.addr()),
+    ] {
+        // One direct reference stream per script, shared by every strategy.
+        let direct: Vec<Vec<u8>> = scripts()
+            .iter()
+            .map(|s| normalize(&replay(backend, s)))
+            .collect();
+        for strategy in Strategy::ALL {
+            let front = BalancerFront::start(vec![backend], strategy);
+            for (script, reference) in scripts().iter().zip(&direct) {
+                let through = normalize(&replay(front.addr, script));
+                assert_eq!(
+                    statuses(&through),
+                    script.expect,
+                    "{who}/{}/{}: status sequence through the balancer",
+                    strategy.label(),
+                    script.name
+                );
+                assert_eq!(
+                    &through,
+                    reference,
+                    "{who}/{}/{}: balancer changed bytes on the wire",
+                    strategy.label(),
+                    script.name
+                );
+            }
+            front.shutdown();
+        }
     }
 
     handoff.shutdown();
