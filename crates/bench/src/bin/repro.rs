@@ -23,6 +23,12 @@
 //!   repro bench --smoke       # short re-run: validate the committed
 //!                             # BENCH_live.json schema and fail on a >20%
 //!                             # throughput regression vs that baseline
+//!   repro scale               # connection-count frontier: ramp live
+//!                             # keep-alive conns to the fd ceiling and a
+//!                             # million simulated conns into the slab;
+//!                             # writes SCALE_baseline.json
+//!   repro scale --smoke       # CI-sized ramp: gate memory-per-connection
+//!                             # and frontier survival vs that baseline
 //!   repro resilience          # adversarial clients (slow-loris, byte-drip,
 //!                             # never-reads, idle floods, fd storms) vs
 //!                             # both live servers + the Fig-3 idle-timeout
@@ -51,6 +57,7 @@ fn main() {
     let mut observe_mode = false;
     let mut chaos_mode = false;
     let mut bench_mode = false;
+    let mut scale_mode = false;
     let mut resilience_mode = false;
     let mut fleet_mode = false;
     let mut smoke = false;
@@ -68,6 +75,7 @@ fn main() {
             "observe" => observe_mode = true,
             "chaos" => chaos_mode = true,
             "bench" => bench_mode = true,
+            "scale" => scale_mode = true,
             "resilience" => resilience_mode = true,
             "fleet" => fleet_mode = true,
             "--json" => {
@@ -96,7 +104,7 @@ fn main() {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
                 println!("robustness:       sensitivity chaos resilience fleet");
-                println!("performance:      bench");
+                println!("performance:      bench scale");
                 println!("observability:    observe <fig-id> | observe capacity");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
                 println!("extensions:       {}", EXTENSION_IDS.join(" "));
@@ -159,6 +167,39 @@ fn main() {
             let path = json_path
                 .unwrap_or_else(|| experiments::BENCH_BASELINE_PATH.to_string());
             std::fs::write(&path, &doc).expect("write bench json");
+            println!("wrote {path}");
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        }
+        return;
+    }
+    if scale_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_scale(smoke);
+        println!("{}", experiments::render_scale(&report));
+        let doc = experiments::scale_to_json(&report).render();
+        let path = json_path.unwrap_or_else(|| experiments::SCALE_BASELINE_PATH.to_string());
+        if smoke {
+            // CI gate: the committed baseline must parse, and the fresh
+            // smoke ramp must hold its memory-per-connection and survive
+            // its (smoke-sized) frontier.
+            let baseline_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let baseline = experiments::parse_scale_json(&baseline_text).unwrap_or_else(|e| {
+                eprintln!("baseline {path} failed schema validation: {e}");
+                std::process::exit(1);
+            });
+            let checks = experiments::scale_checks(&baseline, &report);
+            println!("{}", render_checks(&checks));
+            println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+            let failed = checks.iter().filter(|c| !c.pass).count();
+            if failed > 0 {
+                eprintln!("{failed} scale check(s) FAILED");
+                std::process::exit(1);
+            }
+        } else {
+            std::fs::write(&path, &doc).expect("write scale json");
             println!("wrote {path}");
             println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
         }

@@ -1,0 +1,115 @@
+//! Property tests: a [`connslab::Slab`] driven by an arbitrary
+//! insert/remove/lookup schedule must agree with a `HashMap` reference
+//! model keyed by handle, never alias a stale handle to a live entry, and
+//! keep its storage dense (capacity bounded by peak simultaneous liveness).
+
+use connslab::{Handle, Slab};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One scripted operation. Indices are taken modulo the relevant live /
+/// dead population so every generated script is meaningful.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    /// Remove the i-th live handle.
+    Remove(usize),
+    /// Look up the i-th *stale* (already removed) handle — must miss.
+    ProbeStale(usize),
+}
+
+fn decode(code: (u8, u64)) -> Op {
+    match code.0 % 4 {
+        0 | 1 => Op::Insert(code.1),
+        2 => Op::Remove(code.1 as usize),
+        _ => Op::ProbeStale(code.1 as usize),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slab agrees with a HashMap reference model at every step: live
+    /// handles resolve to their value (stable handles), removed handles
+    /// miss forever (no alias), lengths match, and capacity never exceeds
+    /// the peak live population (dense reuse).
+    #[test]
+    fn slab_matches_reference_model(
+        script in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 1..400)
+    ) {
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: HashMap<u64, u64> = HashMap::new(); // raw -> value
+        let mut live: Vec<Handle> = Vec::new();
+        let mut dead: Vec<Handle> = Vec::new();
+        let mut peak = 0usize;
+
+        for &code in &script {
+            match decode(code) {
+                Op::Insert(v) => {
+                    let h = slab.insert(v);
+                    prop_assert!(!model.contains_key(&h.raw()),
+                        "handle {h:?} reissued while tracked");
+                    model.insert(h.raw(), v);
+                    live.push(h);
+                }
+                Op::Remove(i) => {
+                    if live.is_empty() { continue; }
+                    let h = live.swap_remove(i % live.len());
+                    let want = model.remove(&h.raw());
+                    prop_assert_eq!(slab.remove(h), want);
+                    dead.push(h);
+                }
+                Op::ProbeStale(i) => {
+                    if dead.is_empty() { continue; }
+                    let h = dead[i % dead.len()];
+                    prop_assert_eq!(slab.get(h), None, "stale handle resolved");
+                    prop_assert!(!slab.contains(h));
+                }
+            }
+            peak = peak.max(live.len());
+            prop_assert_eq!(slab.len(), live.len());
+            prop_assert!(slab.capacity() <= peak,
+                "capacity {} exceeds peak live {}", slab.capacity(), peak);
+            // Every live handle still resolves to its own value.
+            for h in &live {
+                prop_assert_eq!(slab.get(*h), model.get(&h.raw()));
+            }
+        }
+
+        // Iteration covers exactly the live population.
+        let mut seen: Vec<u64> = slab.iter().map(|(h, _)| h.raw()).collect();
+        let mut expect: Vec<u64> = model.keys().copied().collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Packed-raw round trips survive any schedule, and no two handles ever
+    /// packed by the slab collide while both are tracked (live or dead):
+    /// the low 32 bits are a slab-wide monotone sequence.
+    #[test]
+    fn packed_handles_are_unique_and_roundtrip(
+        script in proptest::collection::vec((any::<u8>(), 0u64..100), 1..300)
+    ) {
+        let mut slab: Slab<u64> = Slab::new();
+        let mut live: Vec<Handle> = Vec::new();
+        let mut ever: Vec<u64> = Vec::new();
+        for &code in &script {
+            match decode(code) {
+                Op::Insert(v) => {
+                    let h = slab.insert(v);
+                    prop_assert_eq!(Handle::from_raw(h.raw()), h);
+                    prop_assert!(h.raw() != 0 && h.raw() < u64::MAX / 2);
+                    prop_assert!(!ever.contains(&h.raw()), "raw reissued");
+                    ever.push(h.raw());
+                    live.push(h);
+                }
+                Op::Remove(i) | Op::ProbeStale(i) => {
+                    if live.is_empty() { continue; }
+                    let h = live.swap_remove(i % live.len());
+                    slab.remove(h);
+                }
+            }
+        }
+    }
+}

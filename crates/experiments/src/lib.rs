@@ -13,6 +13,9 @@
 //!   `repro observe capacity` and its `CAPACITY_baseline.json` σ/κ gate;
 //! * [`resilience`] — the adversarial-client survival harness and Fig-3
 //!   lifecycle-policy sweep behind `repro resilience`;
+//! * [`scale`] — the connection-count frontier harness behind
+//!   `repro scale` and its `SCALE_baseline.json` memory-per-connection
+//!   gate;
 //! * [`fleet`] — the replicated-server fleet-resilience matrix behind
 //!   `repro fleet` (failover, rolling restarts, zero-lost-reply gates).
 
@@ -25,6 +28,7 @@ pub mod fleet;
 pub mod observe;
 pub mod perfbench;
 pub mod resilience;
+pub mod scale;
 pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
@@ -41,6 +45,10 @@ pub use fleet::{
 };
 pub use resilience::{
     render_resilience, run_resilience, PolicyRun, ResilienceReport, ResilienceRun, GOODPUT_FLOOR,
+};
+pub use scale::{
+    parse_scale_json, render_scale, run_scale, scale_checks, scale_to_json, ScaleCurve,
+    ScalePoint, ScaleReport, MEM_PER_CONN_TOLERANCE, SCALE_BASELINE_PATH, SCALE_SCHEMA,
 };
 pub use perfbench::{
     accept_ab_checks, bench_to_json, parse_bench_json, regression_checks, render_bench,

@@ -24,7 +24,9 @@ pub mod response;
 pub use buffer::ReadBuf;
 pub use content::{ArenaSlice, ContentStore};
 pub use policy::LifecyclePolicy;
-pub use reply::ReplyQueue;
+pub use reply::{HeadPool, ReplyQueue};
 pub use date::{http_date, now_http_date};
-pub use request::{Method, ParseError, ParseOutcome, ParserLimits, Request, RequestParser, Version};
+pub use request::{
+    Method, ParseError, ParseOutcome, ParserLimits, Request, RequestParser, RequestPool, Version,
+};
 pub use response::{parse_response_head, write_head, write_head_full, ResponseHead, Status};

@@ -14,8 +14,12 @@
 //! as further segments and are coalesced into the same vectored call, up to
 //! [`MAX_IOVECS`] iovecs per syscall.
 //!
-//! Head buffers are recycled through an internal free list: a steady-state
-//! connection serves every reply without allocating.
+//! Head buffers are recycled through a **per-worker** [`HeadPool`] free
+//! list: a steady-state connection serves every reply without allocating,
+//! and an idle connection holds no spare buffers at all. (An earlier design
+//! kept the free list inside each `ReplyQueue`; at a million mostly-idle
+//! connections those per-connection spares dominate resident memory, so the
+//! pool moved to the worker that owns the connections.)
 
 use crate::content::ArenaSlice;
 use std::collections::VecDeque;
@@ -25,8 +29,42 @@ use std::io::{self, IoSlice, Write};
 /// burst of (head, body) pairs; deeper queues simply take another call.
 pub const MAX_IOVECS: usize = 16;
 
-/// Cap on recycled head buffers kept per connection.
-const MAX_SPARE_HEADS: usize = 32;
+/// Cap on recycled head buffers kept per pool (i.e. per worker thread).
+const MAX_SPARE_HEADS: usize = 64;
+
+/// A worker-owned free list of head buffers, shared by every connection the
+/// worker serves. One pool amortises head allocations across the whole
+/// worker instead of pinning up to [`MAX_SPARE_HEADS`] spare `Vec`s inside
+/// each open connection.
+#[derive(Debug, Default)]
+pub struct HeadPool {
+    spares: Vec<Vec<u8>>,
+}
+
+impl HeadPool {
+    pub fn new() -> HeadPool {
+        HeadPool::default()
+    }
+
+    /// A cleared head buffer, recycled when possible. Render a response
+    /// head into it and hand it to [`ReplyQueue::push_head`].
+    pub fn take(&mut self) -> Vec<u8> {
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Return a retired buffer for reuse (dropped once the pool is full).
+    pub fn give(&mut self, mut buf: Vec<u8>) {
+        if self.spares.len() < MAX_SPARE_HEADS {
+            buf.clear();
+            self.spares.push(buf);
+        }
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+}
 
 /// One staged span of output bytes.
 #[derive(Debug)]
@@ -55,8 +93,6 @@ pub struct ReplyQueue {
     front_pos: usize,
     /// Total unwritten bytes across all segments.
     pending: usize,
-    /// Recycled head buffers.
-    spare_heads: Vec<Vec<u8>>,
 }
 
 impl ReplyQueue {
@@ -74,17 +110,12 @@ impl ReplyQueue {
         self.pending
     }
 
-    /// A cleared head buffer, recycled when possible. Render a response
-    /// head into it and hand it back via [`ReplyQueue::push_head`].
-    pub fn take_head_buf(&mut self) -> Vec<u8> {
-        self.spare_heads.pop().unwrap_or_default()
-    }
-
-    /// Stage owned bytes (a rendered head). Empty buffers are recycled
-    /// immediately rather than queued.
-    pub fn push_head(&mut self, head: Vec<u8>) {
+    /// Stage owned bytes (a rendered head, taken from the worker's
+    /// [`HeadPool`]). Empty buffers are returned to the pool rather than
+    /// queued.
+    pub fn push_head(&mut self, head: Vec<u8>, pool: &mut HeadPool) {
         if head.is_empty() {
-            self.recycle(head);
+            pool.give(head);
             return;
         }
         self.pending += head.len();
@@ -100,16 +131,9 @@ impl ReplyQueue {
         self.segs.push_back(Segment::Body(body));
     }
 
-    fn recycle(&mut self, mut buf: Vec<u8>) {
-        if self.spare_heads.len() < MAX_SPARE_HEADS {
-            buf.clear();
-            self.spare_heads.push(buf);
-        }
-    }
-
     /// Advance the cursor past `n` freshly written bytes, retiring (and
-    /// recycling) fully consumed segments.
-    fn advance(&mut self, mut n: usize) {
+    /// recycling into `pool`) fully consumed segments.
+    fn advance(&mut self, mut n: usize, pool: &mut HeadPool) {
         debug_assert!(n <= self.pending);
         self.pending -= n;
         while n > 0 {
@@ -122,7 +146,7 @@ impl ReplyQueue {
             n -= remaining;
             self.front_pos = 0;
             if let Some(Segment::Head(buf)) = self.segs.pop_front() {
-                self.recycle(buf);
+                pool.give(buf);
             }
         }
     }
@@ -133,7 +157,7 @@ impl ReplyQueue {
     ///
     /// Callers loop: non-blocking sockets stop on `WouldBlock` (re-arm for
     /// writability), blocking sockets stop when the queue drains.
-    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+    pub fn write_to<W: Write>(&mut self, w: &mut W, pool: &mut HeadPool) -> io::Result<usize> {
         if self.pending == 0 {
             return Ok(0);
         }
@@ -147,7 +171,7 @@ impl ReplyQueue {
             n += 1;
         }
         let written = w.write_vectored(&iov[..n])?;
-        self.advance(written);
+        self.advance(written, pool);
         Ok(written)
     }
 }
@@ -195,13 +219,13 @@ mod tests {
         // want to exercise.
     }
 
-    fn drain_through(queue: &mut ReplyQueue, limit: usize) -> Vec<u8> {
+    fn drain_through(queue: &mut ReplyQueue, pool: &mut HeadPool, limit: usize) -> Vec<u8> {
         let mut w = LimitedWriter {
             out: Vec::new(),
             limit,
         };
         while !queue.is_empty() {
-            let n = queue.write_to(&mut w).expect("infallible writer");
+            let n = queue.write_to(&mut w, pool).expect("infallible writer");
             assert!(n > 0, "no progress");
         }
         w.out
@@ -220,13 +244,14 @@ mod tests {
         let s = store();
         for limit in [1, 3, 7, 1024, usize::MAX] {
             let mut q = ReplyQueue::new();
+            let mut pool = HeadPool::new();
             let head = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\n".to_vec();
             let body = s.body_slice(FileId(3));
             let expect = reference(&head, body.as_bytes());
-            q.push_head(head);
+            q.push_head(head, &mut pool);
             q.push_body(body);
             assert_eq!(q.pending(), expect.len());
-            let got = drain_through(&mut q, limit);
+            let got = drain_through(&mut q, &mut pool, limit);
             assert_eq!(got, expect, "limit {limit}");
             assert!(q.is_empty());
         }
@@ -241,9 +266,10 @@ mod tests {
         // limit 1: every single byte boundary is a landing spot, so the
         // cursor provably rests mid-head and mid-body along the way.
         let mut q = ReplyQueue::new();
-        q.push_head(head);
+        let mut pool = HeadPool::new();
+        q.push_head(head, &mut pool);
         q.push_body(body);
-        let got = drain_through(&mut q, 1);
+        let got = drain_through(&mut q, &mut pool, 1);
         assert_eq!(got, expect);
     }
 
@@ -251,17 +277,18 @@ mod tests {
     fn pipelined_replies_coalesce_and_stay_ordered() {
         let s = store();
         let mut q = ReplyQueue::new();
+        let mut pool = HeadPool::new();
         let mut expect = Vec::new();
         for id in [0u32, 1, 2, 3, 4] {
             let head = format!("HEAD-{id}\r\n\r\n").into_bytes();
             let body = s.body_slice(FileId(id));
             expect.extend_from_slice(&head);
             expect.extend_from_slice(body.as_bytes());
-            q.push_head(head);
+            q.push_head(head, &mut pool);
             q.push_body(body);
         }
         // More than MAX_IOVECS segments would also work — just more calls.
-        let got = drain_through(&mut q, 37);
+        let got = drain_through(&mut q, &mut pool, 37);
         assert_eq!(got, expect);
     }
 
@@ -269,42 +296,68 @@ mod tests {
     fn deep_queues_exceeding_max_iovecs_drain_completely() {
         let s = store();
         let mut q = ReplyQueue::new();
+        let mut pool = HeadPool::new();
         let mut expect = Vec::new();
         for i in 0..(MAX_IOVECS * 2 + 3) {
             let head = format!("H{i}|").into_bytes();
             let body = s.body_slice(FileId((i % 10) as u32));
             expect.extend_from_slice(&head);
             expect.extend_from_slice(body.as_bytes());
-            q.push_head(head);
+            q.push_head(head, &mut pool);
             q.push_body(body);
         }
-        let got = drain_through(&mut q, usize::MAX);
+        let got = drain_through(&mut q, &mut pool, usize::MAX);
         assert_eq!(got, expect);
     }
 
     #[test]
     fn head_buffers_are_recycled_not_reallocated() {
         let mut q = ReplyQueue::new();
-        let mut buf = q.take_head_buf();
+        let mut pool = HeadPool::new();
+        let mut buf = pool.take();
         buf.extend_from_slice(b"first response head");
         let cap_hint = buf.capacity();
-        q.push_head(buf);
-        let _ = drain_through(&mut q, usize::MAX);
-        // The drained head comes back from the free list, cleared but with
+        q.push_head(buf, &mut pool);
+        assert_eq!(pool.spare_count(), 0);
+        let _ = drain_through(&mut q, &mut pool, usize::MAX);
+        // The drained head comes back to the worker pool, cleared but with
         // its allocation intact.
-        let again = q.take_head_buf();
+        assert_eq!(pool.spare_count(), 1);
+        let again = pool.take();
         assert!(again.is_empty());
         assert_eq!(again.capacity(), cap_hint);
     }
 
     #[test]
+    fn pool_is_shared_across_queues_and_bounded() {
+        // The point of the worker-level pool: buffers retired by one
+        // connection serve the next, and an idle queue holds none.
+        let mut pool = HeadPool::new();
+        let mut q1 = ReplyQueue::new();
+        q1.push_head(b"reply-1".to_vec(), &mut pool);
+        let _ = drain_through(&mut q1, &mut pool, usize::MAX);
+        assert_eq!(pool.spare_count(), 1);
+        let mut q2 = ReplyQueue::new();
+        let reused = pool.take();
+        assert_eq!(pool.spare_count(), 0);
+        q2.push_head(reused, &mut pool); // empty: straight back to the pool
+        assert_eq!(pool.spare_count(), 1);
+        // The cap bounds pool growth no matter how many heads retire.
+        for _ in 0..200 {
+            pool.give(Vec::with_capacity(8));
+        }
+        assert!(pool.spare_count() <= 64, "pool must stay bounded");
+    }
+
+    #[test]
     fn empty_queue_writes_nothing() {
         let mut q = ReplyQueue::new();
+        let mut pool = HeadPool::new();
         let mut w = LimitedWriter {
             out: Vec::new(),
             limit: 1024,
         };
-        assert_eq!(q.write_to(&mut w).unwrap(), 0);
+        assert_eq!(q.write_to(&mut w, &mut pool).unwrap(), 0);
         assert!(w.out.is_empty());
         assert!(q.is_empty());
     }
@@ -313,9 +366,10 @@ mod tests {
     fn head_only_replies_flush() {
         // 304/404/HEAD responses have no body segment at all.
         let mut q = ReplyQueue::new();
-        q.push_head(b"HTTP/1.1 304 Not Modified\r\n\r\n".to_vec());
-        q.push_head(b"HTTP/1.1 404 Not Found\r\n\r\n".to_vec());
-        let got = drain_through(&mut q, 5);
+        let mut pool = HeadPool::new();
+        q.push_head(b"HTTP/1.1 304 Not Modified\r\n\r\n".to_vec(), &mut pool);
+        q.push_head(b"HTTP/1.1 404 Not Found\r\n\r\n".to_vec(), &mut pool);
+        let got = drain_through(&mut q, &mut pool, 5);
         assert_eq!(
             got,
             b"HTTP/1.1 304 Not Modified\r\n\r\nHTTP/1.1 404 Not Found\r\n\r\n".to_vec()

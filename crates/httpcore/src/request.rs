@@ -137,21 +137,75 @@ impl Default for ParserLimits {
     }
 }
 
+/// A worker-owned free list of [`Request`] scratch objects. Parsing refills
+/// a pooled request's strings in place, so a steady-state worker parses
+/// every request — across *all* of its connections — without allocating,
+/// while an idle connection pins no parser scratch of its own. (An earlier
+/// design kept one spare request inside every parser; at a million
+/// mostly-idle connections those per-connection spares are dead weight.)
+#[derive(Debug, Default)]
+pub struct RequestPool {
+    spares: Vec<Request>,
+}
+
+/// Cap on pooled request scratch kept per pool (i.e. per worker thread) —
+/// enough for the deepest plausible pipelined burst in flight at once.
+const MAX_SPARE_REQUESTS: usize = 64;
+
+impl RequestPool {
+    pub fn new() -> RequestPool {
+        RequestPool::default()
+    }
+
+    /// A scratch request, recycled when possible. The next parse clears and
+    /// refills its fields in place.
+    pub fn take(&mut self) -> Request {
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Hand a served request back so its allocations (target string,
+    /// header names/values) are reused by a later parse.
+    pub fn give(&mut self, req: Request) {
+        if self.spares.len() < MAX_SPARE_REQUESTS {
+            self.spares.push(req);
+        }
+    }
+
+    /// Requests currently parked in the pool.
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+}
+
 /// Incremental request parser with an internal accumulation buffer.
 #[derive(Debug, Default)]
 pub struct RequestParser {
     buf: ReadBuf,
     limits: ParserLimits,
     /// A served [`Request`] handed back via [`RequestParser::recycle`]:
-    /// the next parse refills its strings in place, so a steady-state
-    /// connection parses every request without allocating.
+    /// scratch for the self-contained [`RequestParser::parse`]. The
+    /// servers use [`RequestParser::parse_pooled`] instead, which draws
+    /// scratch from a worker-wide [`RequestPool`] and leaves this empty.
     spare: Option<Request>,
+}
+
+/// Outcome of one parse step with the scratch request threaded through, so
+/// the caller-side wrappers can route the scratch back to its free list in
+/// every case.
+enum Parsed {
+    Complete(Request),
+    Incomplete(Request),
+    Error(ParseError, Request),
 }
 
 impl RequestParser {
     pub fn new() -> Self {
         RequestParser {
-            buf: ReadBuf::with_capacity(1024),
+            // The accumulation buffer starts empty and only materialises on
+            // the first feed: a connection that never sends a byte (most of
+            // a million-connection idle population at any instant) costs no
+            // parser heap at all.
+            buf: ReadBuf::new(),
             limits: ParserLimits::default(),
             spare: None,
         }
@@ -159,14 +213,14 @@ impl RequestParser {
 
     pub fn with_limits(limits: ParserLimits) -> Self {
         RequestParser {
-            buf: ReadBuf::with_capacity(1024),
+            buf: ReadBuf::new(),
             limits,
             spare: None,
         }
     }
 
     /// Hand a served request back so its allocations (target string,
-    /// header names/values) are reused by the next parse.
+    /// header names/values) are reused by the next [`RequestParser::parse`].
     pub fn recycle(&mut self, req: Request) {
         self.spare = Some(req);
     }
@@ -181,31 +235,62 @@ impl RequestParser {
         self.buf.len()
     }
 
-    /// Try to parse the next complete request off the front of the buffer.
+    /// Try to parse the next complete request off the front of the buffer,
+    /// using the parser's own spare request as scratch (self-contained;
+    /// servers prefer [`RequestParser::parse_pooled`]).
     pub fn parse(&mut self) -> ParseOutcome {
+        let req = self.spare.take().unwrap_or_default();
+        match self.parse_step(req) {
+            Parsed::Complete(req) => ParseOutcome::Complete(req),
+            Parsed::Incomplete(req) => {
+                self.spare = Some(req);
+                ParseOutcome::Incomplete
+            }
+            Parsed::Error(e, req) => {
+                self.spare = Some(req);
+                ParseOutcome::Error(e)
+            }
+        }
+    }
+
+    /// Like [`RequestParser::parse`], but scratch comes from (and returns
+    /// to) a worker-wide [`RequestPool`] shared by every connection the
+    /// worker serves.
+    pub fn parse_pooled(&mut self, pool: &mut RequestPool) -> ParseOutcome {
+        let req = pool.take();
+        match self.parse_step(req) {
+            Parsed::Complete(req) => ParseOutcome::Complete(req),
+            Parsed::Incomplete(req) => {
+                pool.give(req);
+                ParseOutcome::Incomplete
+            }
+            Parsed::Error(e, req) => {
+                pool.give(req);
+                ParseOutcome::Error(e)
+            }
+        }
+    }
+
+    fn parse_step(&mut self, mut req: Request) -> Parsed {
         let data = self.buf.as_slice();
         // Find the end of the header block.
         let Some(head_end) = find_double_crlf(data) else {
             // Guard against an unbounded header block.
             if data.len() > self.limits.max_line * (self.limits.max_headers + 1) {
-                return ParseOutcome::Error(ParseError::LineTooLong);
+                return Parsed::Error(ParseError::LineTooLong, req);
             }
-            return ParseOutcome::Incomplete;
+            return Parsed::Incomplete(req);
         };
         let head = &data[..head_end];
-        let mut req = self.spare.take().unwrap_or_default();
         let result = parse_head_into(head, self.limits, &mut req);
         // Consume the head plus its terminating CRLFCRLF regardless of
         // outcome; on error the connection dies anyway.
         let consumed = head_end + 4;
         self.buf.consume(consumed);
         match result {
-            Ok(()) => ParseOutcome::Complete(req),
-            Err(e) => {
-                // Keep the scratch allocations; the refill clears them.
-                self.spare = Some(req);
-                ParseOutcome::Error(e)
-            }
+            Ok(()) => Parsed::Complete(req),
+            // Keep the scratch allocations; the refill clears them.
+            Err(e) => Parsed::Error(e, req),
         }
     }
 }

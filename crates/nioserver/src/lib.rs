@@ -43,15 +43,15 @@
 
 pub use faults::AcceptMode;
 
+use connslab::{Handle, Slab};
 use faults::DrainReport;
 use httpcore::{
-    ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, ReplyQueue, RequestParser,
-    Status, Version,
+    ContentStore, HeadPool, LifecyclePolicy, Method, ParseError, ParseOutcome, ReplyQueue,
+    RequestParser, RequestPool, Status, Version,
 };
 use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, ShardCell, ShardGauges, Stage, StageHists};
 use parking_lot::Mutex;
 use reactor::{DeadlineWheel, Event, Interest, Selector, Token, Waker};
-use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd};
@@ -106,9 +106,10 @@ pub struct NioStats {
     /// Fault injections consumed: workers that crashed on request.
     pub worker_crashes: AtomicU64,
     /// Full O(open) drain sweeps performed across all workers. The drain
-    /// protocol bounds this at two per worker (one when the drain begins,
-    /// one if the deadline cuts stragglers) regardless of how many idle
-    /// connections are open — tests pin that bound.
+    /// protocol bounds this at one per worker — the sweep when the drain
+    /// begins, which also collects in-flight survivors into a pending list;
+    /// the deadline cut walks only that list — regardless of how many idle
+    /// connections are open. Tests pin that bound.
     pub drain_full_sweeps: AtomicU64,
 }
 
@@ -149,33 +150,51 @@ struct WorkerLink {
 /// round-robins over a private snapshot and re-reads the list only when the
 /// epoch moves (worker spawn/crash) — the per-accept `links.lock()` this
 /// replaces was the one piece of shared mutable state on the handoff path.
+///
+/// The list itself is copy-on-write behind an `Arc`: mutations (spawn/crash,
+/// rare) build a fresh vector and swap the pointer, so `snapshot` and
+/// `wake_all` hold the lock only for an `Arc` clone — O(1), never O(workers)
+/// — and the actual wakes happen outside any lock. Samplers and fault
+/// injectors poking every worker can never stall the accept path.
 #[derive(Default)]
 struct Links {
-    list: Mutex<Vec<WorkerLink>>,
+    list: Mutex<Arc<Vec<WorkerLink>>>,
     epoch: AtomicU64,
 }
 
 impl Links {
-    fn push(&self, link: WorkerLink) {
-        self.list.lock().push(link);
+    fn update(&self, f: impl FnOnce(&mut Vec<WorkerLink>)) {
+        let mut guard = self.list.lock();
+        let mut next = (**guard).clone();
+        f(&mut next);
+        *guard = Arc::new(next);
         self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn push(&self, link: WorkerLink) {
+        self.update(|list| list.push(link));
     }
 
     fn remove(&self, id: u64) {
-        self.list.lock().retain(|l| l.id != id);
-        self.epoch.fetch_add(1, Ordering::Release);
+        self.update(|list| list.retain(|l| l.id != id));
     }
 
-    /// (epoch-at-read, copy of the list). The epoch is read *before* the
-    /// copy: a concurrent change can only make the caller re-snapshot once
-    /// more than necessary, never miss an update.
-    fn snapshot(&self) -> (u64, Vec<WorkerLink>) {
+    fn len(&self) -> usize {
+        self.list.lock().len()
+    }
+
+    /// (epoch-at-read, shared snapshot of the list). The epoch is read
+    /// *before* the snapshot: a concurrent change can only make the caller
+    /// re-snapshot once more than necessary, never miss an update.
+    fn snapshot(&self) -> (u64, Arc<Vec<WorkerLink>>) {
         let epoch = self.epoch.load(Ordering::Acquire);
-        (epoch, self.list.lock().clone())
+        (epoch, Arc::clone(&self.list.lock()))
     }
 
     fn wake_all(&self) {
-        for link in self.list.lock().iter() {
+        // O(1) under the lock: clone the Arc, wake outside.
+        let list = Arc::clone(&self.list.lock());
+        for link in list.iter() {
             link.waker.wake();
         }
     }
@@ -275,7 +294,7 @@ impl NioServer {
     }
 
     fn spawn_worker_seated(&self, listener: Option<TcpListener>) -> io::Result<()> {
-        let w = self.links.list.lock().len();
+        let w = self.links.len();
         let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
         let waker = Arc::new(Waker::new()?);
         let id = self.next_link_id.fetch_add(1, Ordering::Relaxed);
@@ -430,6 +449,7 @@ fn take_crash_token(ctl: &NioCtl) -> bool {
 /// configured stream (nodelay, non-blocking, sized send buffer) when the
 /// connection is admitted, `None` when it was refused (counters and
 /// lifecycle tally already recorded).
+#[allow(clippy::too_many_arguments)]
 fn admit_stream(
     stream: TcpStream,
     cfg: &NioConfig,
@@ -437,6 +457,8 @@ fn admit_stream(
     stats: &NioStats,
     gauges: &LiveGauges,
     ends: &LiveEnds,
+    refusal_head: &mut Vec<u8>,
+    date: &str,
 ) -> Option<TcpStream> {
     // Fd headroom reserve: the accepted fd number tells us how close the
     // process is to RLIMIT_NOFILE (fds are allocated lowest-free). Inside
@@ -456,7 +478,7 @@ fn admit_stream(
     if cfg.lifecycle.max_conns.is_some_and(|cap| open >= cap) {
         stats.refused.fetch_add(1, Ordering::Relaxed);
         ends.record(EndCause::Refused);
-        respond_unavailable(&stream);
+        respond_unavailable(&stream, refusal_head, date);
         return None;
     }
     if cfg.shed_watermark.is_some_and(|w| open >= w) {
@@ -499,7 +521,16 @@ fn acceptor_loop(
     // 1 ms sleep under fd exhaustion is a busy loop that starves the very
     // teardowns that would free fds.
     let mut exhaustion_backoff = Duration::from_millis(1);
+    // Refusal plumbing: one reused head buffer and a ~1 s date cache, so a
+    // storm of 503 refusals at the admission cap allocates nothing.
+    let mut refusal_head: Vec<u8> = Vec::new();
+    let mut date = httpcore::now_http_date();
+    let mut date_refresh = std::time::Instant::now();
     while !ctl.stop.load(Ordering::Relaxed) && !ctl.draining.load(Ordering::Relaxed) {
+        if date_refresh.elapsed() > Duration::from_secs(1) {
+            date = httpcore::now_http_date();
+            date_refresh = std::time::Instant::now();
+        }
         // Server-stall fault window: the accept path freezes; SYNs queue in
         // the kernel backlog exactly as during a GC pause.
         if ctl.accepts_stalled.load(Ordering::Relaxed) {
@@ -509,8 +540,16 @@ fn acceptor_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 exhaustion_backoff = Duration::from_millis(1);
-                let Some(stream) = admit_stream(stream, &cfg, fd_limit, &stats, &gauges, &ends)
-                else {
+                let Some(stream) = admit_stream(
+                    stream,
+                    &cfg,
+                    fd_limit,
+                    &stats,
+                    &gauges,
+                    &ends,
+                    &mut refusal_head,
+                    &date,
+                ) else {
                     continue;
                 };
                 // Round-robin across the snapshot. A closed channel means
@@ -675,20 +714,22 @@ const ECONNABORTED: i32 = 103;
 /// Best-effort `503 Service Unavailable, Connection: close` on a refused
 /// connection. The stream is still blocking here and the head is far
 /// smaller than any socket buffer, so the write cannot stall the acceptor.
-fn respond_unavailable(stream: &TcpStream) {
+/// The head renders into caller-owned scratch and the date string is the
+/// caller's cached copy: a refusal storm at the admission cap allocates
+/// nothing per connection.
+fn respond_unavailable(stream: &TcpStream, head: &mut Vec<u8>, date: &str) {
     use std::io::Write;
-    let mut head = Vec::with_capacity(160);
-    let date = httpcore::now_http_date();
+    head.clear();
     httpcore::write_head(
-        &mut head,
+        head,
         Version::Http11,
         Status::ServiceUnavailable,
         0,
         false,
-        &date,
+        date,
     );
     let mut w = stream;
-    let _ = w.write_all(&head);
+    let _ = w.write_all(head);
 }
 
 /// Current `RLIMIT_NOFILE` soft limit (u64::MAX when the query fails, which
@@ -802,12 +843,16 @@ fn rearm_deadline(
     }
 }
 
-/// Token 0 is reserved for the waker; connections start at 1.
+/// Token 0 is reserved for the waker. A connection token is its packed slab
+/// handle (`Handle::raw`), whose low 32 bits are a sequence that starts at 1
+/// and skips 0 — a connection token can never collide with the waker's.
 const WAKER_TOKEN: Token = Token(0);
 
 /// Sharded mode: listener tokens live in the top half of the token space.
-/// Connection tokens are a sequential counter from 1, so the two ranges can
-/// never meet. `LISTENER_TOKEN_BASE + i` is the worker's `listeners[i]`.
+/// Connection tokens are packed slab handles — slot index in the high bits,
+/// capped at `connslab::MAX_SLOTS = 2^30` slots — so every connection token
+/// is below 2^62 and the two ranges can never meet. `LISTENER_TOKEN_BASE +
+/// i` is the worker's `listeners[i]`.
 const LISTENER_TOKEN_BASE: usize = usize::MAX / 2;
 
 /// A worker's accept shard: its `SO_REUSEPORT` listeners (one at birth,
@@ -832,31 +877,24 @@ struct ShardState {
 
 /// Register an admitted stream with the selector and install its `Conn`
 /// state (shared by the handoff channel-adopt path and the sharded direct
-/// accept). Returns false when selector registration failed (the stream
-/// drops, closing the socket).
+/// accept). The connection's selector token is its packed slab handle, so
+/// event dispatch is an O(1) indexed load with a generation check — a stale
+/// event for a closed-and-reused slot misses instead of aliasing the new
+/// occupant. Returns `None` when selector registration failed (the slot is
+/// reclaimed and the stream drops, closing the socket).
 #[allow(clippy::too_many_arguments)]
 fn install_conn(
     stream: TcpStream,
     selector: &mut Box<dyn Selector>,
-    conns: &mut ConnMap,
-    next_token: &mut usize,
+    conns: &mut Slab<Conn>,
     gauges: &LiveGauges,
     deadlines_on: bool,
     epoch: Instant,
     wheel: &mut DeadlineWheel<usize>,
     policy: &LifecyclePolicy,
-) -> bool {
-    *next_token += 1;
-    let token = Token(*next_token);
-    if selector
-        .register(stream.as_raw_fd(), token, Interest::READABLE)
-        .is_err()
-    {
-        return false;
-    }
-    gauges.add(GaugeKind::OpenConns, 1);
-    gauges.add(GaugeKind::RegisteredConns, 1);
-    let mut conn = Conn {
+) -> Option<Handle> {
+    let fd = stream.as_raw_fd();
+    let handle = conns.insert(Conn {
         stream,
         parser: RequestParser::new(),
         out: ReplyQueue::new(),
@@ -867,39 +905,23 @@ fn install_conn(
         bytes_flushed: 0,
         head_start_ns: 0,
         armed_until: u64::MAX,
-    };
+    });
+    if selector
+        .register(fd, Token(handle.raw() as usize), Interest::READABLE)
+        .is_err()
+    {
+        conns.remove(handle);
+        return None;
+    }
+    gauges.add(GaugeKind::OpenConns, 1);
+    gauges.add(GaugeKind::RegisteredConns, 1);
     if deadlines_on {
+        let conn = conns.get_mut(handle).expect("just inserted");
         conn.last_activity_ns = epoch.elapsed().as_nanos() as u64;
-        rearm_deadline(wheel, &mut conn, *next_token, policy);
+        rearm_deadline(wheel, conn, handle.raw() as usize, policy);
     }
-    conns.insert(*next_token, conn);
-    true
+    Some(handle)
 }
-
-/// Hasher for the token-keyed connection map. Tokens are sequential
-/// counters, so a single multiply (Fibonacci hashing) spreads them across
-/// the table; SipHash's keyed rounds are pure overhead on this hot path.
-#[derive(Default)]
-struct TokenHasher(u64);
-
-impl std::hash::Hasher for TokenHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-usize keys (unused by the conn map).
-        for &b in bytes {
-            self.0 = self.0.wrapping_mul(0x0100_0000_01b3).wrapping_add(b as u64);
-        }
-    }
-
-    fn write_usize(&mut self, n: usize) {
-        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type ConnMap = HashMap<usize, Conn, std::hash::BuildHasherDefault<TokenHasher>>;
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
@@ -938,17 +960,33 @@ fn worker_loop(
         seen_orphan_epoch: 0,
         fd_limit: rlimit_nofile(),
     });
-    let mut conns: ConnMap = ConnMap::default();
-    let mut next_token = 0usize;
+    // Connection states live in a generation-tagged slab indexed by the low
+    // bits of the selector token: dispatch is a bounds-checked array load,
+    // and per-connection storage is dense — no hash table, no rehash spikes
+    // at a million entries.
+    let mut conns: Slab<Conn> = Slab::new();
     let mut events: Vec<Event> = Vec::new();
     let mut read_buf = vec![0u8; 64 * 1024];
     let mut date = httpcore::now_http_date();
     let mut date_refresh = std::time::Instant::now();
     let mut last_ready = 0usize;
+    // Per-worker buffer pools: response heads and parser scratch recycle
+    // through these instead of sitting as per-connection spares — at a
+    // million mostly-idle connections the spares, not the live traffic,
+    // would dominate RSS.
+    let mut head_pool = HeadPool::new();
+    let mut req_pool = RequestPool::new();
+    // Refusal scratch for the sharded accept path (see `acceptor_loop`).
+    let mut refusal_head: Vec<u8> = Vec::new();
     // Cached copy of the drain deadline (fixed once draining starts), and
     // whether this worker has already paid its drain-start full sweep.
+    // `drain_pending` holds the handles that survived that sweep (plus any
+    // connection installed mid-drain): the deadline cut walks only this
+    // list — O(in-flight at drain start), not O(open) — and a handle whose
+    // connection already closed is stale by generation, skipped for free.
     let mut drain_deadline: Option<Instant> = None;
     let mut drain_swept = false;
+    let mut drain_pending: Vec<Handle> = Vec::new();
     // Per-worker stage histograms: recorded locally (nothing shared on the
     // hot path), merged into the server-wide sink when the worker exits.
     let mut local_hists = StageHists::new();
@@ -990,20 +1028,25 @@ fn worker_loop(
             return;
         }
         // Adopt freshly accepted connections (handoff mode; a shard's rx
-        // never receives anything).
+        // never receives anything). A stream that was already in the channel
+        // when the drain-start sweep ran would otherwise dodge the deadline
+        // cut — joining `drain_pending` keeps it cuttable.
         while let Ok(stream) = rx.try_recv() {
             gauges.sub(GaugeKind::AcceptBacklog, 1);
-            install_conn(
+            if let Some(h) = install_conn(
                 stream,
                 &mut selector,
                 &mut conns,
-                &mut next_token,
                 &gauges,
                 deadlines_on,
                 epoch,
                 &mut wheel,
                 &cfg.lifecycle,
-            );
+            ) {
+                if drain_swept {
+                    drain_pending.push(h);
+                }
+            }
         }
         // Shard housekeeping: adopt orphaned listeners from crashed peers,
         // then reconcile listener registration with the stall/drain/backoff
@@ -1100,15 +1143,21 @@ fn worker_loop(
                         Ok((stream, _)) => {
                             s.backoff = Duration::from_millis(1);
                             let Some(stream) = admit_stream(
-                                stream, &cfg, s.fd_limit, &stats, &gauges, &ends,
+                                stream,
+                                &cfg,
+                                s.fd_limit,
+                                &stats,
+                                &gauges,
+                                &ends,
+                                &mut refusal_head,
+                                &date,
                             ) else {
                                 continue;
                             };
-                            if install_conn(
+                            if let Some(h) = install_conn(
                                 stream,
                                 &mut selector,
                                 &mut conns,
-                                &mut next_token,
                                 &gauges,
                                 deadlines_on,
                                 epoch,
@@ -1116,6 +1165,9 @@ fn worker_loop(
                                 &cfg.lifecycle,
                             ) {
                                 s.cell.on_accept();
+                                if drain_swept {
+                                    drain_pending.push(h);
+                                }
                             }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -1148,8 +1200,12 @@ fn worker_loop(
                 }
                 continue;
             }
-            let token = ev.token.0;
-            let Some(conn) = conns.get_mut(&token) else {
+            // The token *is* the packed slab handle: a generation-checked
+            // indexed load resolves the connection, and an event raced
+            // against a close (even one whose slot was already reused) is a
+            // clean miss, never an aliased lookup.
+            let handle = Handle::from_raw(ev.token.0 as u64);
+            let Some(conn) = conns.get_mut(handle) else {
                 continue;
             };
             let mut dead = ev.error && !ev.readable;
@@ -1164,13 +1220,15 @@ fn worker_loop(
                     &mut read_buf,
                     &date,
                     &mut local_hists,
+                    &mut head_pool,
+                    &mut req_pool,
                 );
             }
             if ev.writable && !dead {
                 // Writability means queued output: this flush burst is
                 // transfer time by definition.
                 let t0 = Instant::now();
-                dead = flush_output(conn, &stats);
+                dead = flush_output(conn, &stats, &mut head_pool);
                 local_hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
             }
             if !dead && !conn.wants_write() && conn.close_after_flush {
@@ -1203,7 +1261,7 @@ fn worker_loop(
                 } else {
                     conn.head_start_ns = 0;
                 }
-                rearm_deadline(&mut wheel, conn, token, &cfg.lifecycle);
+                rearm_deadline(&mut wheel, conn, ev.token.0, &cfg.lifecycle);
             }
             if dead {
                 if draining {
@@ -1215,7 +1273,7 @@ fn worker_loop(
                 }
                 let fd = conn.stream.as_raw_fd();
                 let _ = selector.deregister(fd);
-                conns.remove(&token);
+                conns.remove(handle);
                 gauges.sub(GaugeKind::OpenConns, 1);
                 gauges.sub(GaugeKind::RegisteredConns, 1);
                 if let Some(s) = shard.as_ref() {
@@ -1227,7 +1285,7 @@ fn worker_loop(
                 let want = conn.interest();
                 if want != conn.registered {
                     let fd = conn.stream.as_raw_fd();
-                    if selector.reregister(fd, Token(token), want).is_ok() {
+                    if selector.reregister(fd, ev.token, want).is_ok() {
                         conn.registered = want;
                     }
                 }
@@ -1240,9 +1298,11 @@ fn worker_loop(
         // re-arms; a genuinely expired one is torn down by cause.
         if deadlines_on {
             while let Some((_, token)) = wheel.pop_due(now_ns) {
-                let expired = match conns.get_mut(&token) {
-                    // Token gone: the connection closed normally after this
-                    // entry was armed. Stale, skip.
+                let handle = Handle::from_raw(token as u64);
+                let expired = match conns.get_mut(handle) {
+                    // Handle stale: the connection closed normally after
+                    // this entry was armed (the generation tag also rules
+                    // out a reused slot). Skip.
                     None => None,
                     Some(conn) => {
                         conn.armed_until = u64::MAX;
@@ -1260,15 +1320,15 @@ fn worker_loop(
                 let Some(cause) = expired else {
                     continue;
                 };
-                let mut conn = conns.remove(&token).expect("present above");
+                let mut conn = conns.remove(handle).expect("present above");
                 ends.record(cause);
                 match cause {
                     EndCause::HeaderTimeout => {
                         // Answer the half-sent request before closing: the
                         // head is tiny, one non-blocking shot delivers it
                         // unless the attacker also jammed the send buffer.
-                        respond_status(&mut conn, Status::RequestTimeout, &date);
-                        let _ = flush_output(&mut conn, &stats);
+                        respond_status(&mut conn, Status::RequestTimeout, &date, &mut head_pool);
+                        let _ = flush_output(&mut conn, &stats, &mut head_pool);
                     }
                     _ => {
                         // Idle / write-stall: abortive close — httpd2's
@@ -1303,17 +1363,19 @@ fn worker_loop(
             }
             let now = Instant::now();
             let deadline_hit = drain_deadline.is_some_and(|d| now >= d);
-            // The O(open) sweep runs exactly when it can close something
-            // the event path cannot: once when the drain begins (the
-            // already-idle population) and once when the deadline cuts
-            // stragglers. Between the two, connections that *become* idle
-            // close in the event path above, so a quiet pass over a large
-            // idle population costs nothing per connection.
-            if !drain_swept || deadline_hit {
+            // The O(open) sweep runs exactly once, when the drain begins:
+            // it closes the already-idle population and collects the
+            // in-flight survivors into `drain_pending`. From then on,
+            // connections that *become* idle close in the event path above,
+            // and the deadline cut below walks only the pending list — a
+            // worker parked on a million idle connections never re-scans
+            // them.
+            if !drain_swept {
                 drain_swept = true;
                 stats.drain_full_sweeps.fetch_add(1, Ordering::Relaxed);
-                conns.retain(|_, conn| {
+                conns.retain(|h, conn| {
                     if !(conn.drain_idle() || deadline_hit) {
+                        drain_pending.push(h);
                         return true;
                     }
                     if conn.wants_write() {
@@ -1329,6 +1391,26 @@ fn worker_loop(
                     }
                     false
                 });
+            } else if deadline_hit {
+                // Deadline cut: O(pending at drain start). Handles whose
+                // connections already finished (closed in the event path)
+                // are stale by generation and skip for free.
+                for h in drain_pending.drain(..) {
+                    let Some(conn) = conns.remove(h) else {
+                        continue;
+                    };
+                    if conn.wants_write() {
+                        ctl.aborted.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        ctl.drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let _ = selector.deregister(conn.stream.as_raw_fd());
+                    gauges.sub(GaugeKind::OpenConns, 1);
+                    gauges.sub(GaugeKind::RegisteredConns, 1);
+                    if let Some(s) = &shard {
+                        s.cell.on_close();
+                    }
+                }
             }
             if conns.is_empty() {
                 break;
@@ -1350,6 +1432,8 @@ fn handle_readable(
     scratch: &mut [u8],
     date: &str,
     hists: &mut StageHists,
+    head_pool: &mut HeadPool,
+    req_pool: &mut RequestPool,
 ) -> bool {
     loop {
         match conn.stream.read(scratch) {
@@ -1362,14 +1446,15 @@ fn handle_readable(
                 let mut p0 = Instant::now();
                 conn.parser.feed(&scratch[..n]);
                 loop {
-                    match conn.parser.parse() {
+                    match conn.parser.parse_pooled(req_pool) {
                         ParseOutcome::Complete(req) => {
                             hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
                             let s0 = Instant::now();
-                            serve(conn, cfg, stats, &req, date);
+                            serve(conn, cfg, stats, &req, date, head_pool);
                             // Return the request's allocations to the
-                            // parser for the next parse on this connection.
-                            conn.parser.recycle(req);
+                            // worker's pool for the next parse on *any*
+                            // connection — idle connections hold no scratch.
+                            req_pool.give(req);
                             hists.record(Stage::Service, s0.elapsed().as_nanos() as u64);
                             p0 = Instant::now();
                         }
@@ -1386,7 +1471,7 @@ fn handle_readable(
                                 }
                                 _ => Status::BadRequest,
                             };
-                            respond_status(conn, status, date);
+                            respond_status(conn, status, date, head_pool);
                             conn.close_after_flush = true;
                             break;
                         }
@@ -1396,7 +1481,7 @@ fn handle_readable(
                 // transfer only when there is output to move).
                 let had_output = conn.wants_write();
                 let t0 = Instant::now();
-                let flush_dead = flush_output(conn, stats);
+                let flush_dead = flush_output(conn, stats, head_pool);
                 if had_output {
                     hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
                 }
@@ -1418,13 +1503,20 @@ fn handle_readable(
     }
 }
 
-fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Request, date: &str) {
+fn serve(
+    conn: &mut Conn,
+    cfg: &NioConfig,
+    stats: &NioStats,
+    req: &httpcore::Request,
+    date: &str,
+    pool: &mut HeadPool,
+) {
     stats.requests.fetch_add(1, Ordering::Relaxed);
     let keep = req.keep_alive();
-    // Heads render into a recycled buffer; bodies stage as arena handles —
-    // a steady-state connection serves every reply copy- and
-    // allocation-free.
-    let mut head = conn.out.take_head_buf();
+    // Heads render into a buffer recycled through the worker's pool; bodies
+    // stage as arena handles — a steady-state connection serves every reply
+    // copy- and allocation-free, and an idle connection holds no spares.
+    let mut head = pool.take();
     match (req.method, cfg.content.resolve(&req.target)) {
         (Method::Get, Some(id)) => {
             let lm = cfg.content.last_modified(id);
@@ -1438,7 +1530,7 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
                     date,
                     Some(lm),
                 );
-                conn.out.push_head(head);
+                conn.out.push_head(head, pool);
             } else {
                 let body = cfg.content.body_slice(id);
                 httpcore::write_head_full(
@@ -1450,7 +1542,7 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
                     date,
                     Some(lm),
                 );
-                conn.out.push_head(head);
+                conn.out.push_head(head, pool);
                 conn.out.push_body(body);
             }
         }
@@ -1458,7 +1550,7 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
             let lm = cfg.content.last_modified(id);
             let len = cfg.content.size_of(id) as usize;
             httpcore::write_head_full(&mut head, req.version, Status::Ok, len, keep, date, Some(lm));
-            conn.out.push_head(head);
+            conn.out.push_head(head, pool);
         }
         (Method::Other, _) => {
             httpcore::write_head(
@@ -1469,11 +1561,11 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
                 keep,
                 date,
             );
-            conn.out.push_head(head);
+            conn.out.push_head(head, pool);
         }
         (_, None) => {
             httpcore::write_head(&mut head, req.version, Status::NotFound, 0, keep, date);
-            conn.out.push_head(head);
+            conn.out.push_head(head, pool);
         }
     }
     if !keep {
@@ -1481,17 +1573,17 @@ fn serve(conn: &mut Conn, cfg: &NioConfig, stats: &NioStats, req: &httpcore::Req
     }
 }
 
-fn respond_status(conn: &mut Conn, status: Status, date: &str) {
-    let mut head = conn.out.take_head_buf();
+fn respond_status(conn: &mut Conn, status: Status, date: &str, pool: &mut HeadPool) {
+    let mut head = pool.take();
     httpcore::write_head(&mut head, Version::Http11, status, 0, false, date);
-    conn.out.push_head(head);
+    conn.out.push_head(head, pool);
 }
 
 /// Non-blocking vectored flush of the staged output. Returns true when the
 /// connection must be torn down (write error).
-fn flush_output(conn: &mut Conn, stats: &NioStats) -> bool {
+fn flush_output(conn: &mut Conn, stats: &NioStats, pool: &mut HeadPool) -> bool {
     while !conn.out.is_empty() {
-        match conn.out.write_to(&mut conn.stream) {
+        match conn.out.write_to(&mut conn.stream, pool) {
             Ok(0) => return true,
             Ok(n) => {
                 stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);

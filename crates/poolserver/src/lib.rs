@@ -24,8 +24,8 @@
 
 use faults::DrainReport;
 use httpcore::{
-    ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, RequestParser, Status,
-    Version,
+    ContentStore, LifecyclePolicy, Method, ParseError, ParseOutcome, RequestParser, RequestPool,
+    Status, Version,
 };
 use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, Stage, StageHists};
 use parking_lot::Mutex;
@@ -323,6 +323,10 @@ fn pool_thread(
     // Per-thread stage histograms: recorded locally (nothing shared on the
     // serve path), merged into the server-wide sink when the thread exits.
     let mut local_hists = StageHists::new();
+    // Per-thread parser-scratch pool: request allocations recycle across
+    // connections served by this thread instead of being rebuilt from
+    // nothing for every accepted connection.
+    let mut req_pool = RequestPool::new();
     let fd_limit = rlimit_nofile();
     // EMFILE/ENFILE backoff: retrying at full speed starves the very
     // connection teardowns that would free fds.
@@ -394,8 +398,16 @@ fn pool_thread(
                 gauges.add(GaugeKind::OpenConns, 1);
                 let in_flight = Arc::new(AtomicBool::new(false));
                 let id = ctl.registry.register(&stream, &in_flight);
-                let owed =
-                    serve_connection(&cfg, stream, &ctl, &stats, &ends, &in_flight, &mut local_hists);
+                let owed = serve_connection(
+                    &cfg,
+                    stream,
+                    &ctl,
+                    &stats,
+                    &ends,
+                    &in_flight,
+                    &mut local_hists,
+                    &mut req_pool,
+                );
                 ctl.registry.remove(id);
                 if ctl.draining.load(Ordering::SeqCst) {
                     if owed {
@@ -449,6 +461,7 @@ fn serve_connection(
     ends: &LiveEnds,
     in_flight: &AtomicBool,
     hists: &mut StageHists,
+    req_pool: &mut RequestPool,
 ) -> bool {
     let _ = stream.set_nodelay(true);
     // Same send-buffer sizing as the event server: a whole reply fits in
@@ -512,7 +525,7 @@ fn serve_connection(
                 let mut p0 = Instant::now();
                 parser.feed(&buf[..n]);
                 loop {
-                    match parser.parse() {
+                    match parser.parse_pooled(req_pool) {
                         ParseOutcome::Complete(req) => {
                             hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
                             let keep = req.keep_alive();
@@ -522,9 +535,10 @@ fn serve_connection(
                             );
                             in_flight.store(false, Ordering::SeqCst);
                             p0 = Instant::now();
-                            // Hand the request's allocations back for the
-                            // next parse on this connection.
-                            parser.recycle(req);
+                            // Hand the request's allocations back to the
+                            // thread's pool for the next parse — they
+                            // outlive this connection.
+                            req_pool.give(req);
                             if !sent {
                                 return true; // write failed: response lost
                             }

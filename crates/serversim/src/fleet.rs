@@ -17,6 +17,7 @@
 //! silently dropped, so "zero lost replies" is a checked fact.
 
 use crate::balancer::{HealthConfig, HealthState, LoadBalancer, Strategy};
+use crate::conntable::ConnTable;
 use clientsim::{Client, ClientAction, ClientConfig, ClientId, ClientMetrics};
 use desim::{Ctx, Engine, EventId, Model, Rng, RunOutcome, SimDuration, SimTime};
 use faults::{DrainReport, FaultKind, FleetFaultPlan, RetryBudget};
@@ -361,8 +362,7 @@ pub struct FleetTestbed {
     clients: Vec<Client>,
     rt: Vec<ClientRt>,
     pub metrics: ClientMetrics,
-    conns: HashMap<ConnId, FConn>,
-    next_conn: u64,
+    conns: ConnTable<FConn>,
     flows: HashMap<FlowId, FlowKind>,
     next_flow: u64,
     frontend: PsLink,
@@ -438,8 +438,7 @@ impl FleetTestbed {
             clients,
             rt,
             metrics,
-            conns: HashMap::new(),
-            next_conn: 0,
+            conns: ConnTable::new(),
             flows: HashMap::new(),
             next_flow: 0,
             frontend,
@@ -574,11 +573,10 @@ impl FleetTestbed {
 
     /// Open a new connection for `cid` and fire its SYN at the balancer.
     fn do_connect(&mut self, ctx: &mut Ctx<'_, FEv>, cid: ClientId) {
-        self.next_conn += 1;
-        let conn = ConnId(self.next_conn);
-        let rec = FConn {
+        let now = ctx.now();
+        let conn = self.conns.insert_with(|conn| FConn {
             client: cid,
-            net: Connection::open(conn, ctx.now()),
+            net: Connection::open(conn, now),
             host: None,
             epoch: 0,
             inflight: Vec::new(),
@@ -586,8 +584,7 @@ impl FleetTestbed {
             active_flow: None,
             paused: None,
             pending_jobs: 0,
-        };
-        self.conns.insert(conn, rec);
+        });
         self.rt[cid.0 as usize].conn = Some(conn);
         self.arm_client_timeout(ctx, cid);
         self.start_overhead_flow(ctx, self.cfg.connection_overhead_bytes);
@@ -720,7 +717,7 @@ impl FleetTestbed {
             .conns
             .iter()
             .filter(|(_, r)| r.host == Some(host))
-            .map(|(&c, _)| c)
+            .map(|(c, _)| c)
             .collect();
         v.sort();
         v

@@ -12,6 +12,7 @@
 
 pub mod balancer;
 pub mod config;
+pub mod conntable;
 pub mod event_driven;
 pub mod fleet;
 pub mod result;

@@ -19,6 +19,7 @@
 //! ```
 
 use crate::config::{ServerArch, TestbedConfig};
+use crate::conntable::ConnTable;
 use crate::event_driven::{AcceptOutcome, EventServer};
 use crate::threaded::{SynOutcome, ThreadedServer};
 use clientsim::{Client, ClientAction, ClientId, ClientMetrics};
@@ -167,8 +168,7 @@ pub struct Testbed {
     clients: Vec<Client>,
     rt: Vec<ClientRt>,
     pub metrics: ClientMetrics,
-    conns: HashMap<ConnId, ConnRec>,
-    next_conn: u64,
+    conns: ConnTable<ConnRec>,
     flows: HashMap<FlowId, FlowRec>,
     next_flow: u64,
     links: Vec<PsLink>,
@@ -218,6 +218,9 @@ pub struct Testbed {
     /// samples. Stays zero with the incremental counter; tests pin that
     /// sampling cost is independent of the idle-connection population.
     pub gauge_conn_visits: u64,
+    /// High-water mark of simultaneously open connections over the run —
+    /// the scale harness's "how many did the table actually hold" reading.
+    peak_open_conns: usize,
 }
 
 impl Testbed {
@@ -296,8 +299,7 @@ impl Testbed {
             clients,
             rt,
             metrics,
-            conns: HashMap::new(),
-            next_conn: 0,
+            conns: ConnTable::new(),
             flows: HashMap::new(),
             next_flow: 0,
             links,
@@ -328,12 +330,23 @@ impl Testbed {
             syns_refused: 0,
             busy_conns: 0,
             gauge_conn_visits: 0,
+            peak_open_conns: 0,
         }
     }
 
     /// The materialised file set (exposed for experiments and tests).
     pub fn files(&self) -> &FileSet {
         &self.files
+    }
+
+    /// Connections open right now.
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// High-water mark of simultaneously open connections across the run.
+    pub fn peak_open_conns(&self) -> usize {
+        self.peak_open_conns
     }
 
     /// Threaded server state, if that architecture is running.
@@ -492,12 +505,11 @@ impl Testbed {
 
     /// Open a new connection for `cid` and fire its SYN.
     fn do_connect(&mut self, ctx: &mut Ctx<'_, Ev>, cid: ClientId) {
-        self.next_conn += 1;
-        let conn = ConnId(self.next_conn);
         let link = self.link_of_client(cid);
-        let rec = ConnRec {
+        let now = ctx.now();
+        let conn = self.conns.insert_with(|conn| ConnRec {
             client: cid,
-            net: Connection::open(conn, ctx.now()),
+            net: Connection::open(conn, now),
             link,
             req_queue: VecDeque::new(),
             cpu_busy: false,
@@ -507,7 +519,8 @@ impl Testbed {
             thread_bound: false,
             pending_jobs: 0,
             busy: false,
-        };
+        });
+        self.peak_open_conns = self.peak_open_conns.max(self.conns.len());
         if self.trace.wants(TraceLevel::Debug) {
             self.trace.emit(
                 ctx.now(),
@@ -515,7 +528,6 @@ impl Testbed {
                 format!("client {} opens conn {} (SYN)", cid.0, conn.0),
             );
         }
-        self.conns.insert(conn, rec);
         self.rt[cid.0 as usize].conn = Some(conn);
         self.arm_client_timeout(ctx, cid);
         // Handshake packets consume link bandwidth.
@@ -1536,7 +1548,7 @@ impl Model for Testbed {
                             .conns
                             .iter()
                             .filter(|(_, r)| r.active_flow.is_none() && !r.pipeline.is_empty())
-                            .map(|(&c, _)| c)
+                            .map(|(c, _)| c)
                             .collect();
                         for conn in wedged {
                             self.try_start_flow(ctx, conn);
@@ -1635,7 +1647,7 @@ impl Model for Testbed {
                 // established connections drained cleanly, in-flight ones
                 // are cut (the client sees a reset), connecting ones are
                 // refused.
-                let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+                let ids: Vec<ConnId> = self.conns.keys().collect();
                 for conn in ids {
                     let Some(rec) = self.conns.get(&conn) else {
                         continue;

@@ -445,6 +445,72 @@ fn balancer_front_with_one_backend_is_wire_invisible() {
 }
 
 #[test]
+fn slot_reuse_churn_is_wire_equivalent_across_accept_modes() {
+    // Churn angle on equivalence: waves of short-lived connections force
+    // the workers' connection slab to recycle slots aggressively — the
+    // LIFO free list hands each sequential connection the slot its
+    // predecessor just vacated, and concurrent waves spread reuse across
+    // many slots at once. A reused slot must serve its new connection
+    // exactly like a fresh one: no state bleed from the previous occupant,
+    // no aliased teardown, and byte-identical streams on both accept modes.
+    let fs = files();
+    let content = Arc::new(ContentStore::from_fileset(&fs));
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+
+    fn churn_script(i: usize) -> Script {
+        Script {
+            name: "churn",
+            steps: vec![Step::Send(concat_requests(&[
+                &format!("GET /f/{} HTTP/1.1\r\nHost: sut\r\n\r\n", i % 8),
+                "GET /f/9 HTTP/1.1\r\nHost: sut\r\nConnection: close\r\n\r\n",
+            ]))],
+            expect: vec![200, 200],
+        }
+    }
+
+    for (who, addr) in [("handoff", handoff.addr()), ("sharded", sharded.addr())] {
+        // References on fresh slots, one per distinct request shape.
+        let reference: Vec<Vec<u8>> = (0..8)
+            .map(|i| normalize(&replay(addr, &churn_script(i))))
+            .collect();
+        for r in &reference {
+            assert_eq!(statuses(r), vec![200, 200], "{who}: churn reference");
+        }
+        // Sequential churn: each close frees the slot the next connect
+        // reuses, so one slot cycles through many generations.
+        for i in 0..24 {
+            let got = normalize(&replay(addr, &churn_script(i)));
+            assert_eq!(
+                got,
+                reference[i % 8],
+                "{who}: sequential churn conn {i} diverged on a reused slot"
+            );
+        }
+        // Concurrent waves: a batch of live connections, all closed, then
+        // the next batch lands on the freed slots.
+        for wave in 0..3 {
+            let workers: Vec<_> = (0..12)
+                .map(|i| {
+                    std::thread::spawn(move || (i, replay(addr, &churn_script(i))))
+                })
+                .collect();
+            for w in workers {
+                let (i, raw) = w.join().expect("churn client");
+                assert_eq!(
+                    normalize(&raw),
+                    reference[i % 8],
+                    "{who}: wave {wave} conn {i} diverged on a reused slot"
+                );
+            }
+        }
+    }
+
+    handoff.shutdown();
+    sharded.shutdown();
+}
+
+#[test]
 fn sharded_mode_is_wire_equivalent_across_many_connections() {
     // A second angle on equivalence: the same pipelined burst replayed on
     // eight fresh connections against the sharded server (so multiple
