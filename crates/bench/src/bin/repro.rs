@@ -39,6 +39,13 @@
 //!                             # strategy, with zero-lost-reply gates
 //!                             # (--smoke: CI-sized load; --json dumps
 //!                             # fleet + per-replica gauges as JSONL)
+//!   repro conformance         # model-based protocol conformance: generated
+//!                             # client sequences diffed across the virtual-
+//!                             # time oracle, handoff-nio, sharded-nio, and
+//!                             # poolserver; replays tests/corpus/, checks
+//!                             # transition coverage, and proves the harness
+//!                             # has teeth via seeded mutations
+//!   repro conformance --smoke # CI-sized sweep, same gates
 //!   repro list                # print the catalog and exit
 //!
 //! Output per figure: the data table (one row per client count, one column
@@ -60,6 +67,7 @@ fn main() {
     let mut scale_mode = false;
     let mut resilience_mode = false;
     let mut fleet_mode = false;
+    let mut conformance_mode = false;
     let mut smoke = false;
     // Accept path for event-driven sweeps: --sharded wins, else the
     // REPRO_ACCEPT_MODE env var (the CI matrix axis), else handoff.
@@ -78,6 +86,7 @@ fn main() {
             "scale" => scale_mode = true,
             "resilience" => resilience_mode = true,
             "fleet" => fleet_mode = true,
+            "conformance" => conformance_mode = true,
             "--json" => {
                 i += 1;
                 json_path = Some(
@@ -103,7 +112,7 @@ fn main() {
             "list" => {
                 println!("paper figures:    {}", ALL_FIGURE_IDS.join(" "));
                 println!("tables:           table-up table-smp");
-                println!("robustness:       sensitivity chaos resilience fleet");
+                println!("robustness:       sensitivity chaos resilience fleet conformance");
                 println!("performance:      bench scale");
                 println!("observability:    observe <fig-id> | observe capacity");
                 println!("fault plans:      {}", faults::PLAN_NAMES.join(" "));
@@ -112,7 +121,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [observe] [all | ext | everything | chaos | bench | fleet | fig1a ...] [--quick] [--smoke] [--sharded] [--json PATH]"
+                    "usage: repro [observe] [all | ext | everything | chaos | bench | fleet | conformance | fig1a ...] [--quick] [--smoke] [--sharded] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -202,6 +211,24 @@ fn main() {
             std::fs::write(&path, &doc).expect("write scale json");
             println!("wrote {path}");
             println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        }
+        return;
+    }
+    if conformance_mode {
+        let start = std::time::Instant::now();
+        let report = experiments::run_conformance(smoke);
+        println!("{}", experiments::render_conformance(&report));
+        let checks = experiments::conformance_checks(&report);
+        println!("{}", render_checks(&checks));
+        let failed = checks.iter().filter(|c| !c.pass).count();
+        println!(
+            "  ({} sequences across 4 legs, {:.1}s)\n",
+            report.sequences,
+            start.elapsed().as_secs_f64()
+        );
+        if failed > 0 {
+            eprintln!("{failed} conformance check(s) FAILED");
+            std::process::exit(1);
         }
         return;
     }

@@ -17,12 +17,17 @@
 //!   `repro scale` and its `SCALE_baseline.json` memory-per-connection
 //!   gate;
 //! * [`fleet`] — the replicated-server fleet-resilience matrix behind
-//!   `repro fleet` (failover, rolling restarts, zero-lost-reply gates).
+//!   `repro fleet` (failover, rolling restarts, zero-lost-reply gates);
+//! * [`conformance`] — the model-based protocol conformance sweep behind
+//!   `repro conformance`: generated client sequences diffed across the
+//!   virtual-time oracle and every live server variant, with shrinking,
+//!   a regression corpus, and mutation teeth checks.
 
 pub mod capacity;
 pub mod catalog;
 pub mod chaos;
 pub mod checks;
+pub mod conformance;
 pub mod figure;
 pub mod fleet;
 pub mod observe;
@@ -39,6 +44,10 @@ pub use capacity::{
     LIVE_KAPPA_TOLERANCE, LIVE_SIGMA_TOLERANCE, SIGMA_TOLERANCE,
 };
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
+pub use conformance::{
+    conformance_checks, corpus_entries, render_conformance, run_conformance, ConformanceReport,
+    ConformanceRig, CoverageRow, Divergence, MutationFinding, FULL_SEQUENCES, SMOKE_SEQUENCES,
+};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
 pub use fleet::{
     fleet_jsonl, render_fleet, run_fleet_matrix, FleetReport, FleetRun, FLEET_SCENARIOS,

@@ -116,6 +116,10 @@ pub struct ScaleCurve {
     /// The ramp reached an explicit refusal (live: 503/denied connect at
     /// the fd reserve; sim: `refuse_on_full` at a saturated backlog).
     pub refusal_seen: bool,
+    /// `(SO_RCVBUF, SO_SNDBUF)` requested on every accepted socket for
+    /// this ramp; `None` leaves the kernel's autotuned defaults. Recorded
+    /// so the baseline says which kernel-side memory footprint it priced.
+    pub socket_buffers: Option<(u32, u32)>,
     /// Service continued past the refusal point.
     pub alive_after_refusal: bool,
 }
@@ -292,7 +296,7 @@ fn probe_alive(addr: SocketAddr) -> bool {
 
 /// Ramp real keep-alive connections against the nio server until the fd
 /// ceiling refuses, then verify the server survived the frontier.
-fn live_ramp(smoke: bool) -> ScaleCurve {
+fn live_ramp(smoke: bool, arch: &str, socket_buffers: Option<(u32, u32)>) -> ScaleCurve {
     let (orig_soft, hard) = nofile_limits();
     let target_soft = if smoke {
         orig_soft.min(SMOKE_NOFILE)
@@ -308,9 +312,15 @@ fn live_ramp(smoke: bool) -> ScaleCurve {
         selector: nioserver::SelectorKind::Epoll,
         accept: nioserver::AcceptMode::Handoff,
         shed_watermark: None,
-        lifecycle: LifecyclePolicy {
-            fd_reserve: FD_RESERVE,
-            ..LifecyclePolicy::default()
+        lifecycle: {
+            let base = LifecyclePolicy {
+                fd_reserve: FD_RESERVE,
+                ..LifecyclePolicy::default()
+            };
+            match socket_buffers {
+                Some((recv, send)) => base.with_buffers(recv, send),
+                None => base,
+            }
         },
         content,
     })
@@ -370,7 +380,7 @@ fn live_ramp(smoke: bool) -> ScaleCurve {
 
     ScaleCurve {
         layer: "live".to_string(),
-        arch: "nio-2w".to_string(),
+        arch: arch.to_string(),
         limit: target_soft,
         points,
         sustained_conns: sustained,
@@ -378,6 +388,7 @@ fn live_ramp(smoke: bool) -> ScaleCurve {
         fd_watermark,
         refusal_seen,
         alive_after_refusal,
+        socket_buffers,
     }
 }
 
@@ -500,6 +511,7 @@ fn sim_ramp(smoke: bool) -> ScaleCurve {
         fd_watermark: 0,
         refusal_seen,
         alive_after_refusal,
+        socket_buffers: None,
     }
 }
 
@@ -507,7 +519,15 @@ fn sim_ramp(smoke: bool) -> ScaleCurve {
 pub fn run_scale(smoke: bool) -> ScaleReport {
     ScaleReport {
         scale: if smoke { "smoke" } else { "full" }.to_string(),
-        curves: vec![sim_ramp(smoke), live_ramp(smoke)],
+        curves: vec![
+            sim_ramp(smoke),
+            live_ramp(smoke, "nio-2w", None),
+            // The same ramp with the kernel's per-socket buffers trimmed
+            // via the `LifecyclePolicy` knobs: userland mem/conn should be
+            // unchanged while the (unmeasured here) kernel side shrinks —
+            // the point is that the frontier survives the trim.
+            live_ramp(smoke, "nio-2w-trim", Some((4096, 16384))),
+        ],
     }
 }
 
@@ -593,6 +613,16 @@ pub fn scale_to_json(report: &ScaleReport) -> Json {
                             ("fd_watermark", Json::Num(c.fd_watermark as f64)),
                             ("refusal_seen", Json::Bool(c.refusal_seen)),
                             (
+                                "socket_buffers",
+                                match c.socket_buffers {
+                                    Some((r, w)) => Json::Array(vec![
+                                        Json::Num(r as f64),
+                                        Json::Num(w as f64),
+                                    ]),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
                                 "alive_after_refusal",
                                 Json::Bool(c.alive_after_refusal),
                             ),
@@ -655,6 +685,21 @@ pub fn parse_scale_json(text: &str) -> Result<ScaleReport, String> {
             fd_watermark: get_num(o, "fd_watermark")? as u64,
             refusal_seen: get_bool(o, "refusal_seen")?,
             alive_after_refusal: get_bool(o, "alive_after_refusal")?,
+            // Optional so pre-knob baselines still parse (treated as
+            // kernel-default buffers).
+            socket_buffers: match get(o, "socket_buffers") {
+                Ok(JsonValue::Array(pair)) => match pair.as_slice() {
+                    [JsonValue::Num(r), JsonValue::Num(w)] => {
+                        Some((*r as u32, *w as u32))
+                    }
+                    _ => {
+                        return Err(
+                            "'socket_buffers' must be [recv, send] numbers".to_string()
+                        )
+                    }
+                },
+                _ => None,
+            },
         });
     }
     if curves.is_empty() {
@@ -741,6 +786,11 @@ mod tests {
             fd_watermark: if layer == "live" { 2 * sustained } else { 0 },
             refusal_seen: true,
             alive_after_refusal: true,
+            socket_buffers: if layer == "live" {
+                Some((4096, 16384))
+            } else {
+                None
+            },
         };
         ScaleReport {
             scale: "smoke".to_string(),
@@ -760,6 +810,7 @@ mod tests {
             assert_eq!(a.fd_watermark, b.fd_watermark);
             assert_eq!(a.refusal_seen, b.refusal_seen);
             assert_eq!(a.alive_after_refusal, b.alive_after_refusal);
+            assert_eq!(a.socket_buffers, b.socket_buffers);
             assert!((a.mem_per_conn_bytes - b.mem_per_conn_bytes).abs() < 1e-9);
             assert_eq!(a.points.len(), b.points.len());
         }

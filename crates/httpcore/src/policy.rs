@@ -40,6 +40,16 @@ pub struct LifecyclePolicy {
     /// while at least this many are open. Coarser than the shed watermark —
     /// this is the hard ceiling, not the load-shedding threshold.
     pub max_conns: Option<u64>,
+    /// `SO_RCVBUF` for every accepted socket, bytes (`None` keeps the
+    /// kernel default). At a million mostly-idle connections the kernel's
+    /// per-socket receive buffer — not the server's own state — dominates
+    /// memory; requests are a few hundred bytes, so this can be tiny.
+    pub recv_buffer: Option<u32>,
+    /// `SO_SNDBUF` for every accepted socket, bytes (`None` keeps the
+    /// kernel default). Large enough for a whole reply, the kernel takes
+    /// a full response in one vectored write; small, it trades syscalls
+    /// (and write-readiness parking) for per-connection kernel memory.
+    pub send_buffer: Option<u32>,
 }
 
 impl Default for LifecyclePolicy {
@@ -53,6 +63,12 @@ impl Default for LifecyclePolicy {
             write_stall_timeout: None,
             fd_reserve: 64,
             max_conns: None,
+            recv_buffer: None,
+            // A send buffer larger than any reply (bodies are capped well
+            // below this) lets a worker hand the kernel a whole response in
+            // one vectored write instead of parking the connection in the
+            // WRITABLE set while a default-sized buffer drains.
+            send_buffer: Some(1 << 19),
         }
     }
 }
@@ -73,8 +89,17 @@ impl LifecyclePolicy {
             idle_timeout: Some(idle),
             header_timeout: Some(header),
             write_stall_timeout: Some(write_stall),
-            fd_reserve: 64,
-            max_conns: None,
+            ..LifecyclePolicy::default()
+        }
+    }
+
+    /// The same policy with both kernel socket buffers pinned — the
+    /// per-connection-memory profile for frontier ramps (`repro scale`).
+    pub fn with_buffers(self, recv: u32, send: u32) -> Self {
+        LifecyclePolicy {
+            recv_buffer: Some(recv),
+            send_buffer: Some(send),
+            ..self
         }
     }
 }
@@ -91,6 +116,18 @@ mod tests {
         assert_eq!(p.write_stall_timeout, None);
         assert_eq!(p.max_conns, None);
         assert!(p.fd_reserve > 0, "fd reserve on by default");
+        assert_eq!(p.recv_buffer, None, "kernel default rcvbuf by default");
+        assert_eq!(p.send_buffer, Some(1 << 19), "reply-sized sndbuf");
+    }
+
+    #[test]
+    fn with_buffers_pins_both_socket_buffers() {
+        let p = LifecyclePolicy::default().with_buffers(4096, 16384);
+        assert_eq!(p.recv_buffer, Some(4096));
+        assert_eq!(p.send_buffer, Some(16384));
+        // The lifecycle knobs ride through untouched.
+        assert_eq!(p.idle_timeout, None);
+        assert_eq!(p.fd_reserve, LifecyclePolicy::default().fd_reserve);
     }
 
     #[test]

@@ -492,11 +492,16 @@ fn admit_stream(
     stats.accepted.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(true);
-    // A send buffer larger than any reply (bodies are capped well below
-    // this) lets the worker hand the kernel a whole response in one
-    // vectored write instead of parking the connection in the WRITABLE set
-    // while the default-sized buffer drains.
-    let _ = set_sndbuf(&stream, 1 << 19);
+    // Kernel socket buffers from the policy: the send side defaults to
+    // reply-sized (a whole response in one vectored write); both can be
+    // trimmed to shrink kernel-side per-connection memory on frontier
+    // ramps, or left `None` for the kernel's own sizing.
+    if let Some(b) = cfg.lifecycle.send_buffer {
+        let _ = set_sndbuf(&stream, b as i32);
+    }
+    if let Some(b) = cfg.lifecycle.recv_buffer {
+        let _ = set_rcvbuf(&stream, b as i32);
+    }
     Some(stream)
 }
 
@@ -762,6 +767,12 @@ struct Conn {
     out: ReplyQueue,
     /// Close once the output drains (HTTP/1.0 or Connection: close or 400).
     close_after_flush: bool,
+    /// The peer sent FIN (`shutdown(SHUT_WR)` or close): no more request
+    /// bytes will ever arrive, but replies already owed must still be
+    /// flushed before the clean close. Read interest is dropped — a
+    /// level-triggered selector would otherwise re-report the EOF on
+    /// every pass while the flush is still in flight.
+    peer_half_closed: bool,
     /// Interest currently registered with the selector — cached so the hot
     /// path only pays a `reregister` syscall on an actual change.
     registered: Interest,
@@ -792,7 +803,11 @@ impl Conn {
     }
 
     fn interest(&self) -> Interest {
-        if self.wants_write() {
+        if self.peer_half_closed {
+            // Nothing left to read — the connection only lives to drain
+            // its owed replies.
+            Interest::WRITABLE
+        } else if self.wants_write() {
             Interest::BOTH
         } else {
             Interest::READABLE
@@ -899,6 +914,7 @@ fn install_conn(
         parser: RequestParser::new(),
         out: ReplyQueue::new(),
         close_after_flush: false,
+        peer_half_closed: false,
         registered: Interest::READABLE,
         last_activity_ns: 0,
         last_write_progress_ns: 0,
@@ -1208,7 +1224,11 @@ fn worker_loop(
             let Some(conn) = conns.get_mut(handle) else {
                 continue;
             };
-            let mut dead = ev.error && !ev.readable;
+            // An error/hang-up event with nothing readable is fatal —
+            // except on a half-closed connection, where EPOLLRDHUP is
+            // permanently asserted by the peer's FIN and the connection
+            // must stay alive exactly as long as it still owes output.
+            let mut dead = ev.error && !ev.readable && !(conn.peer_half_closed && ev.writable);
             let flushed_before = conn.bytes_flushed;
             let had_output = conn.wants_write();
             if ev.readable && !dead {
@@ -1437,7 +1457,18 @@ fn handle_readable(
 ) -> bool {
     loop {
         match conn.stream.read(scratch) {
-            Ok(0) => return !conn.wants_write(), // peer closed; flush leftovers
+            Ok(0) => {
+                // FIN: the peer half-closed (`shutdown(SHUT_WR)`) or went
+                // away entirely. Every complete pipelined request it sent
+                // has already been parsed and served by the loop below (the
+                // kernel delivers data before the EOF), so the connection's
+                // remaining job is to flush what it owes and close cleanly.
+                // A dangling partial head dies unanswered — it can never
+                // complete, so a 408 would be noise.
+                conn.peer_half_closed = true;
+                conn.close_after_flush = true;
+                return !conn.wants_write();
+            }
             Ok(n) => {
                 // Stage clocks: feed+parse is the parse burst (restarted
                 // after each served request so pipelined requests each get
@@ -1597,9 +1628,10 @@ fn flush_output(conn: &mut Conn, stats: &NioStats, pool: &mut HeadPool) -> bool 
     false
 }
 
-/// SO_SNDBUF: size the kernel send buffer (the kernel doubles the value
-/// for bookkeeping and clamps to `net.core.wmem_max`).
-fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+/// `setsockopt(SOL_SOCKET, opt, bytes)` — shared plumbing for the buffer
+/// sizing knobs (the kernel doubles the value for bookkeeping and clamps
+/// to `net.core.{w,r}mem_max`).
+fn set_sockbuf(stream: &TcpStream, opt: i32, bytes: i32) -> io::Result<()> {
     extern "C" {
         fn setsockopt(
             sockfd: i32,
@@ -1610,12 +1642,11 @@ fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
         ) -> i32;
     }
     const SOL_SOCKET: i32 = 1;
-    const SO_SNDBUF: i32 = 7;
     let r = unsafe {
         setsockopt(
             stream.as_raw_fd(),
             SOL_SOCKET,
-            SO_SNDBUF,
+            opt,
             &bytes as *const i32 as *const _,
             std::mem::size_of::<i32>() as u32,
         )
@@ -1625,6 +1656,16 @@ fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
     } else {
         Ok(())
     }
+}
+
+/// SO_SNDBUF: size the kernel send buffer.
+fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    set_sockbuf(stream, 7, bytes)
+}
+
+/// SO_RCVBUF: size the kernel receive buffer.
+fn set_rcvbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    set_sockbuf(stream, 8, bytes)
 }
 
 /// SO_LINGER(0): make `close()` send RST instead of FIN, so a shed client
@@ -1774,6 +1815,81 @@ mod tests {
             off += head.head_len + head.content_length;
         }
         assert_eq!(off, buf.len(), "no trailing bytes");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_drains_buffered_pipeline_then_closes_cleanly() {
+        // `shutdown(SHUT_WR)` after a pipelined burst: every request that
+        // was already on the wire must still be served, the replies
+        // flushed, and the close must be a clean FIN (read_to_end returns
+        // Ok), never an abortive reset.
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            accept: AcceptMode::Handoff,
+            shed_watermark: None,
+            lifecycle: LifecyclePolicy::default(),
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Keep-alive requests — without the half-close the server would
+        // hold the connection open waiting for more.
+        s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\nGET /f/1 HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("clean close, not a reset");
+        let mut off = 0;
+        for id in 0..2u32 {
+            let head = httpcore::parse_response_head(&buf[off..])
+                .expect("complete head")
+                .expect("valid head");
+            assert_eq!(head.status, 200, "reply {id}");
+            let body = &buf[off + head.head_len..off + head.head_len + head.content_length];
+            assert_eq!(body, content.body(workload::FileId(id)), "reply {id}");
+            off += head.head_len + head.content_length;
+        }
+        assert_eq!(off, buf.len(), "no trailing bytes after the two replies");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_with_partial_head_closes_without_answer() {
+        // FIN while a head is dangling: it can never complete, so the
+        // server closes cleanly without inventing a 408.
+        let server = start(1, SelectorKind::Epoll);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("clean close");
+        assert!(buf.is_empty(), "no reply owed to an unfinished head");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trimmed_socket_buffers_still_serve_full_bodies() {
+        // The SO_RCVBUF/SO_SNDBUF policy knobs shrink kernel-side memory;
+        // replies bigger than the trimmed send buffer must still arrive
+        // whole (the flush path parks in the WRITABLE set and resumes).
+        let content = test_content();
+        let server = NioServer::start(NioConfig {
+            workers: 1,
+            selector: SelectorKind::Epoll,
+            accept: AcceptMode::Handoff,
+            shed_watermark: None,
+            lifecycle: LifecyclePolicy::default().with_buffers(4096, 4096),
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let (status, body) = get(server.addr(), "/f/3");
+        assert_eq!(status, 200);
+        assert_eq!(body, content.body(workload::FileId(3)));
         server.shutdown();
     }
 

@@ -464,10 +464,17 @@ fn serve_connection(
     req_pool: &mut RequestPool,
 ) -> bool {
     let _ = stream.set_nodelay(true);
-    // Same send-buffer sizing as the event server: a whole reply fits in
-    // one blocking vectored write, so the thread overlaps the kernel's
-    // drain with reading the next request.
-    let _ = set_sndbuf(&stream, 1 << 19);
+    // Same socket-buffer sizing as the event server: the default
+    // reply-sized send buffer takes a whole response in one blocking
+    // vectored write, so the thread overlaps the kernel's drain with
+    // reading the next request; both knobs can be trimmed to shrink
+    // kernel-side per-connection memory.
+    if let Some(b) = cfg.lifecycle.send_buffer {
+        let _ = set_sndbuf(&stream, b as i32);
+    }
+    if let Some(b) = cfg.lifecycle.recv_buffer {
+        let _ = set_rcvbuf(&stream, b as i32);
+    }
     // SO_SNDTIMEO from the lifecycle policy: a write that makes no progress
     // for this long (the never-reads shape) fails with a timeout error
     // instead of binding the thread until the peer deigns to drain.
@@ -540,7 +547,14 @@ fn serve_connection(
                             // outlive this connection.
                             req_pool.give(req);
                             if !sent {
-                                return true; // write failed: response lost
+                                // Write-stall expiry (or a mid-reply write
+                                // error): abortive close, as the policy
+                                // documents and as the event server's
+                                // write-stall teardown behaves — the client
+                                // must observe RST, not a clean FIN after
+                                // the kernel drains what it owed.
+                                let _ = set_linger_zero(&stream);
+                                return true; // response lost
                             }
                             if !keep {
                                 return false;
@@ -589,6 +603,14 @@ fn serve_connection(
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // A buffered partial head means the connection is mid-request,
+                // not idle: the header deadline above governs (and answers 408
+                // rather than resetting). Idle expiry still applies as the
+                // fallback when no header deadline is armed, so a dangling
+                // head cannot hold the thread forever.
+                if head_started.is_some() && cfg.lifecycle.header_timeout.is_some() {
+                    continue;
+                }
                 // One idle slice elapsed with no data.
                 idle_left = idle_left.saturating_sub(slice);
                 if idle_left.is_zero() {
@@ -764,9 +786,10 @@ fn rlimit_nofile() -> u64 {
     }
 }
 
-/// SO_SNDBUF: size the kernel send buffer (the kernel doubles the value
-/// for bookkeeping and clamps to `net.core.wmem_max`).
-fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+/// `setsockopt(SOL_SOCKET, opt, bytes)` — shared plumbing for the buffer
+/// sizing knobs (the kernel doubles the value for bookkeeping and clamps
+/// to `net.core.{w,r}mem_max`).
+fn set_sockbuf(stream: &TcpStream, opt: i32, bytes: i32) -> io::Result<()> {
     use std::os::fd::AsRawFd;
     extern "C" {
         fn setsockopt(
@@ -778,12 +801,11 @@ fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
         ) -> i32;
     }
     const SOL_SOCKET: i32 = 1;
-    const SO_SNDBUF: i32 = 7;
     let r = unsafe {
         setsockopt(
             stream.as_raw_fd(),
             SOL_SOCKET,
-            SO_SNDBUF,
+            opt,
             &bytes as *const i32 as *const _,
             std::mem::size_of::<i32>() as u32,
         )
@@ -793,6 +815,16 @@ fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
     } else {
         Ok(())
     }
+}
+
+/// SO_SNDBUF: size the kernel send buffer.
+fn set_sndbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    set_sockbuf(stream, 7, bytes)
+}
+
+/// SO_RCVBUF: size the kernel receive buffer.
+fn set_rcvbuf(stream: &TcpStream, bytes: i32) -> io::Result<()> {
+    set_sockbuf(stream, 8, bytes)
 }
 
 /// SO_LINGER(0): make `close()` send RST instead of FIN, so the client's
@@ -917,6 +949,68 @@ mod tests {
                 content.body(workload::FileId(id))
             );
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_drains_buffered_pipeline_then_closes_cleanly() {
+        // `shutdown(SHUT_WR)` after a pipelined burst: the bound thread
+        // must serve every request already on the wire, then notice the
+        // EOF and close with a clean FIN — never a reset, never a dropped
+        // reply.
+        let (server, content) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\nGET /f/1 HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("clean close, not a reset");
+        let mut off = 0;
+        for id in 0..2u32 {
+            let head = httpcore::parse_response_head(&buf[off..])
+                .expect("complete head")
+                .expect("valid head");
+            assert_eq!(head.status, 200, "reply {id}");
+            let body = &buf[off + head.head_len..off + head.head_len + head.content_length];
+            assert_eq!(body, content.body(workload::FileId(id)), "reply {id}");
+            off += head.head_len + head.content_length;
+        }
+        assert_eq!(off, buf.len(), "no trailing bytes after the two replies");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_with_partial_head_closes_without_answer() {
+        // FIN while a head is dangling: it can never complete, so the
+        // thread drops the connection cleanly without inventing a 408.
+        let (server, _) = start(2, None);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t").unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("clean close");
+        assert!(buf.is_empty(), "no reply owed to an unfinished head");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trimmed_socket_buffers_still_serve_full_bodies() {
+        // The SO_RCVBUF/SO_SNDBUF knobs shrink kernel memory; a reply
+        // bigger than the trimmed send buffer must still arrive whole
+        // (the blocking write path just takes more trips to the kernel).
+        let content = test_content();
+        let server = PoolServer::start(PoolConfig {
+            pool_size: 2,
+            lifecycle: LifecyclePolicy::default().with_buffers(4096, 4096),
+            shed_watermark: None,
+            content: Arc::clone(&content),
+        })
+        .unwrap();
+        let (status, body) = get(server.addr(), "/f/3");
+        assert_eq!(status, 200);
+        assert_eq!(body, content.body(workload::FileId(3)));
         server.shutdown();
     }
 

@@ -43,7 +43,11 @@ pub struct Event {
     pub token: Token,
     pub readable: bool,
     pub writable: bool,
-    /// Error or hang-up; the connection should be torn down after draining.
+    /// Error or hang-up. On the epoll backend this includes `EPOLLRDHUP`,
+    /// which only means "the peer sends no more" (a half-close), **not**
+    /// "the connection is dead": a half-closed connection may still owe
+    /// replies and must keep flushing. Callers must drain readable data
+    /// and pending output before treating this as fatal.
     pub error: bool,
 }
 
@@ -90,9 +94,15 @@ impl EpollSelector {
     }
 
     fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
-        let mut flags = sys::EPOLLRDHUP;
+        // EPOLLRDHUP rides along only with read interest. It is permanently
+        // asserted once the peer half-closes, so subscribing it on a
+        // write-only registration (a connection that is done reading and
+        // only flushing owed replies) would re-report the fd on every
+        // wait — and, with a full send buffer, deliver error-only events
+        // that look fatal while bytes are still owed.
+        let mut flags = 0;
         if interest.readable {
-            flags |= sys::EPOLLIN;
+            flags |= sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if interest.writable {
             flags |= sys::EPOLLOUT;

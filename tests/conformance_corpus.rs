@@ -1,0 +1,39 @@
+//! Regression-corpus replay: every persisted sequence under
+//! `tests/corpus/*.seq` must produce the oracle-predicted outcome on every
+//! live server variant. Each corpus entry is a shrunk, named repro of a
+//! protocol behaviour (several of them past real bugs); this test keeps
+//! them pinned in CI without paying for a full generated sweep.
+//!
+//! The full sweep (≥1000 generated sequences + mutation teeth) lives in
+//! `repro conformance`; the smoke slice runs in CI alongside this replay.
+
+use experiments::{corpus_entries, ConformanceRig};
+
+#[test]
+fn corpus_is_present_and_well_formed() {
+    // `corpus_entries` hard-errors on unparseable files; this asserts the
+    // corpus hasn't been emptied out from under the conformance gate.
+    let entries = corpus_entries();
+    assert!(
+        entries.len() >= 5,
+        "regression corpus shrank to {} entries — named repros must stay",
+        entries.len()
+    );
+}
+
+#[test]
+fn corpus_replays_identically_on_every_variant() {
+    let rig = ConformanceRig::start();
+    let mut failures = Vec::new();
+    for (name, seq) in corpus_entries() {
+        for (leg, detail) in rig.diff_sequence(&seq) {
+            failures.push(format!("{name} vs {leg}: {detail}"));
+        }
+    }
+    rig.shutdown();
+    assert!(
+        failures.is_empty(),
+        "corpus divergence:\n{}",
+        failures.join("\n")
+    );
+}

@@ -38,6 +38,9 @@ enum Step {
     Send(Vec<u8>),
     /// Sleep this long with the socket open (chunk-split / stall shaping).
     Pause(Duration),
+    /// `shutdown(SHUT_WR)`: promise the server no more request bytes while
+    /// still reading every reply it owes.
+    HalfClose,
 }
 
 struct Script {
@@ -127,6 +130,33 @@ fn scripts() -> Vec<Script> {
             )],
             expect: vec![400],
         },
+        Script {
+            // Promoted from the conformance corpus: keep-alive requests
+            // with no `Connection: close` anywhere, ended by the client's
+            // FIN — every buffered request must still be answered and the
+            // close must be clean.
+            name: "half_close_drains_pipeline",
+            steps: vec![
+                Step::Send(concat_requests(&[
+                    "GET /f/7 HTTP/1.1\r\nHost: sut\r\n\r\n",
+                    "GET /f/8 HTTP/1.1\r\nHost: sut\r\n\r\n",
+                ])),
+                Step::HalfClose,
+            ],
+            expect: vec![200, 200],
+        },
+        Script {
+            // Promoted from the conformance corpus: a complete request
+            // pipelined with a head that never finishes. The 200 must be
+            // served immediately; the dangling head resolves as 408 when
+            // the header deadline fires mid-pipeline.
+            name: "timeout_mid_pipeline",
+            steps: vec![Step::Send(concat_requests(&[
+                "GET /f/5 HTTP/1.1\r\nHost: sut\r\n\r\n",
+                "GET /f/6 HTTP/1.1\r\nHost: s",
+            ]))],
+            expect: vec![200, 408],
+        },
     ]
 }
 
@@ -150,6 +180,7 @@ fn replay(addr: SocketAddr, script: &Script) -> Vec<u8> {
         match step {
             Step::Send(bytes) => stream.write_all(bytes).expect("script write"),
             Step::Pause(d) => std::thread::sleep(*d),
+            Step::HalfClose => stream.shutdown(Shutdown::Write).expect("half-close"),
         }
     }
     // Deliberately no write-side shutdown: a FIN would let the server
@@ -534,4 +565,97 @@ fn sharded_mode_is_wire_equivalent_across_many_connections() {
         assert_eq!(reference, next, "connection {i} diverged");
     }
     sharded.shutdown();
+}
+
+/// SO_LINGER(0) so the drop below sends RST instead of FIN — the abortive
+/// client the conformance model calls `Terminal::Reset`.
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    let val = Linger { l_onoff: 1, l_linger: 0 };
+    let r = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            1,  // SOL_SOCKET
+            13, // SO_LINGER
+            &val as *const Linger as *const _,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    assert_eq!(r, 0, "SO_LINGER(0)");
+}
+
+#[test]
+fn rst_after_partial_head_is_absorbed_identically() {
+    // Promoted from the conformance corpus: a client sends half a request
+    // head and aborts with RST. Every variant must clean the connection up
+    // silently — no 408 rides the dead socket into a panic or a poisoned
+    // slot — and a follow-up connection must be served exactly as if the
+    // abort never happened, on every server, byte-identically.
+    let fs = files();
+    let content = Arc::new(ContentStore::from_fileset(&fs));
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
+        pool_size: 4,
+        lifecycle: policy(),
+        shed_watermark: None,
+        content: Arc::clone(&content),
+    })
+    .expect("start pool server");
+
+    let probe = Script {
+        name: "post_rst_probe",
+        steps: vec![Step::Send(concat_requests(&[
+            "GET /f/3 HTTP/1.1\r\nHost: sut\r\nConnection: close\r\n\r\n",
+        ]))],
+        expect: vec![200],
+    };
+    let mut streams = Vec::new();
+    for (who, addr) in [
+        ("nio-handoff", handoff.addr()),
+        ("nio-sharded", sharded.addr()),
+        ("poolserver", pool.addr()),
+    ] {
+        for round in 0..4 {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).unwrap();
+            let mut s = s;
+            s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: s").expect("partial head");
+            // Give the server a chance to observe the partial head before
+            // the abort, so the RST lands on a connection mid-parse.
+            std::thread::sleep(Duration::from_millis(20));
+            set_linger_zero(&s);
+            drop(s);
+            let raw = replay(addr, &probe);
+            assert_eq!(
+                statuses(&raw),
+                probe.expect,
+                "{who}: probe after RST round {round}"
+            );
+            streams.push((who, normalize(&raw)));
+        }
+    }
+    // The post-abort probes agree byte-for-byte across all three servers.
+    let reference = &streams[0].1;
+    for (who, s) in &streams {
+        assert_eq!(s, reference, "{who}: post-RST probe diverged on the wire");
+    }
+
+    handoff.shutdown();
+    sharded.shutdown();
+    pool.shutdown();
 }
