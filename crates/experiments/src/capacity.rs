@@ -237,7 +237,7 @@ pub fn live_curves(smoke: bool) -> Vec<CapacityCurve> {
         for workers in 1..=4usize {
             let server = nioserver::NioServer::start(nioserver::NioConfig {
                 workers,
-                selector: nioserver::SelectorKind::Epoll,
+                backend: nioserver::BackendKind::Epoll,
                 accept,
                 shed_watermark: None,
                 lifecycle: httpcore::LifecyclePolicy::default(),

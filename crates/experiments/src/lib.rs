@@ -45,9 +45,11 @@ pub use capacity::{
 };
 pub use catalog::{Campaign, LinkSetup, Scale, ALL_FIGURE_IDS};
 pub use conformance::{
-    conformance_checks, corpus_entries, render_conformance, run_conformance, ConformanceReport,
-    ConformanceRig, CoverageRow, Divergence, MutationFinding, FULL_SEQUENCES, SMOKE_SEQUENCES,
+    conformance_checks, corpus_entries, render_conformance, run_conformance,
+    run_conformance_with, ConformanceReport, ConformanceRig, CoverageRow, Divergence,
+    MutationFinding, FULL_SEQUENCES, SMOKE_SEQUENCES,
 };
+pub use nioserver::{io_uring_available, BackendKind};
 pub use chaos::{render_chaos, run_chaos, ChaosReport, ChaosRun};
 pub use fleet::{
     fleet_jsonl, render_fleet, run_fleet_matrix, FleetReport, FleetRun, FLEET_SCENARIOS,
@@ -60,9 +62,10 @@ pub use scale::{
     ScalePoint, ScaleReport, MEM_PER_CONN_TOLERANCE, SCALE_BASELINE_PATH, SCALE_SCHEMA,
 };
 pub use perfbench::{
-    accept_ab_checks, bench_to_json, parse_bench_json, regression_checks, render_bench,
-    run_accept_ab, run_bench, AbSide, AcceptAb, BenchReport, BenchResult, BENCH_BASELINE_PATH,
-    BENCH_SCHEMA, REGRESSION_TOLERANCE,
+    accept_ab_checks, backend_ab_checks, bench_to_json, parse_bench_json, regression_checks,
+    render_bench, run_accept_ab, run_backend_ab, run_bench, AbSide, AcceptAb, BackendAb,
+    BackendSide, BenchReport, BenchResult, BENCH_BASELINE_PATH, BENCH_SCHEMA,
+    REGRESSION_TOLERANCE,
 };
 pub use checks::{check_figure, render_checks, Check};
 pub use figure::{Figure, Metric, Series};

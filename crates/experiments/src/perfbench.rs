@@ -113,6 +113,30 @@ impl AcceptAb {
     }
 }
 
+/// One reactor backend's measurement in the backend A/B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSide {
+    /// `epoll`, `mock-completion`, or `io_uring`.
+    pub backend: String,
+    pub replies_per_sec: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub replies: u64,
+    pub errors: u64,
+}
+
+/// The readiness-vs-completion backend A/B on the live nio server: same
+/// workload, same workers, same (handoff) accept path — only the reactor
+/// backend differs. No relative throughput gate: mock-completion is
+/// deliberately slow (seeded short chunks, EAGAIN injection), and io_uring
+/// rows exist only on kernels that grant a ring. The gate is correctness —
+/// every side serves replies and none errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendAb {
+    pub workers: usize,
+    pub sides: Vec<BackendSide>,
+}
+
 /// Everything `repro bench` measures and serialises.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -122,6 +146,9 @@ pub struct BenchReport {
     /// The accept-path A/B. `None` only when parsed from a baseline
     /// written before the section existed.
     pub accept_ab: Option<AcceptAb>,
+    /// The reactor backend A/B. `None` only when parsed from a baseline
+    /// written before the section existed.
+    pub backend_ab: Option<BackendAb>,
 }
 
 /// Concurrency is fixed (the regression guard compares like with like);
@@ -237,7 +264,7 @@ fn ab_side(
     for _ in 0..trials {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: AB_WORKERS,
-            selector: nioserver::SelectorKind::Epoll,
+            backend: nioserver::BackendKind::Epoll,
             accept: mode,
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
@@ -266,6 +293,78 @@ fn ab_side(
         }
     }
     best.expect("at least one trial")
+}
+
+/// Measure the nio server on one reactor backend (handoff accept): a
+/// single trial — backend rows are correctness-gated, not
+/// throughput-gated, so best-of-N buys nothing here.
+fn backend_side(
+    kind: nioserver::BackendKind,
+    content: &Arc<ContentStore>,
+    files: &FileSet,
+    duration: Duration,
+) -> BackendSide {
+    let server = nioserver::NioServer::start(nioserver::NioConfig {
+        workers: AB_WORKERS,
+        backend: kind,
+        accept: nioserver::AcceptMode::Handoff,
+        shed_watermark: None,
+        lifecycle: httpcore::LifecyclePolicy::default(),
+        content: Arc::clone(content),
+    })
+    .expect("start nio server for backend A/B");
+    let report = loadgen::run(&bench_load(server.addr(), duration), files);
+    server.shutdown();
+    let wall = report.wall.as_secs_f64().max(1e-9);
+    BackendSide {
+        backend: kind.label().to_string(),
+        replies_per_sec: report.replies as f64 / wall,
+        p50_ms: report.response_time_us.quantile(0.5) as f64 / 1000.0,
+        p99_ms: report.response_time_us.quantile(0.99) as f64 / 1000.0,
+        replies: report.replies,
+        errors: report.errors.client_timeout
+            + report.errors.connection_reset
+            + report.errors.connection_refused
+            + report.errors.socket_error,
+    }
+}
+
+/// The backend A/B: identical workload per reactor backend — epoll and
+/// mock-completion always, io_uring when the kernel grants a ring.
+pub fn run_backend_ab(smoke: bool) -> BackendAb {
+    let files = bench_files();
+    let content = Arc::new(ContentStore::from_fileset(&files));
+    let duration = Duration::from_secs_f64(if smoke { SMOKE_SECS } else { FULL_SECS });
+    let mut kinds = vec![
+        nioserver::BackendKind::Epoll,
+        nioserver::BackendKind::MockCompletion,
+    ];
+    if nioserver::io_uring_available() {
+        kinds.push(nioserver::BackendKind::IoUring);
+    }
+    BackendAb {
+        workers: AB_WORKERS,
+        sides: kinds
+            .into_iter()
+            .map(|k| backend_side(k, &content, &files, duration))
+            .collect(),
+    }
+}
+
+/// Gate on the fresh backend A/B itself: every backend served replies and
+/// none errored. Deliberately no relative throughput bar (see
+/// [`BackendAb`]).
+pub fn backend_ab_checks(ab: &BackendAb) -> Vec<Check> {
+    ab.sides
+        .iter()
+        .map(|s| {
+            Check::new(
+                &format!("bench: backend {} serves the workload error-free", s.backend),
+                s.replies > 0 && s.errors == 0,
+                format!("{} replies, {} errors", s.replies, s.errors),
+            )
+        })
+        .collect()
 }
 
 /// The accept-path A/B: identical workload against the nio server in
@@ -342,7 +441,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
     {
         let server = nioserver::NioServer::start(nioserver::NioConfig {
             workers: 1,
-            selector: nioserver::SelectorKind::Epoll,
+            backend: nioserver::BackendKind::Epoll,
             accept: nioserver::AcceptMode::from_env(),
             shed_watermark: None,
             lifecycle: httpcore::LifecyclePolicy::default(),
@@ -389,6 +488,7 @@ pub fn run_bench(smoke: bool) -> BenchReport {
         scale: if smoke { "smoke" } else { "paper" }.to_string(),
         results,
         accept_ab: Some(run_accept_ab(smoke)),
+        backend_ab: Some(run_backend_ab(smoke)),
     }
 }
 
@@ -438,6 +538,18 @@ pub fn render_bench(report: &BenchReport) -> String {
             ab.connect_delta_frac() * 100.0,
             ab.rps_delta_frac() * 100.0
         ));
+    }
+    if let Some(ab) = &report.backend_ab {
+        out.push_str(&format!(
+            "\nbackend A/B (nio, {} workers, handoff accept):\n{:<16} {:>10} {:>9} {:>9} {:>9} {:>7}\n",
+            ab.workers, "backend", "replies/s", "p50(ms)", "p99(ms)", "replies", "errors"
+        ));
+        for s in &ab.sides {
+            out.push_str(&format!(
+                "{:<16} {:>10.0} {:>9.2} {:>9.2} {:>9} {:>7}\n",
+                s.backend, s.replies_per_sec, s.p50_ms, s.p99_ms, s.replies, s.errors
+            ));
+        }
     }
     out
 }
@@ -510,6 +622,32 @@ pub fn bench_to_json(report: &BenchReport) -> Json {
                 ("sharded", ab_side_to_json(&ab.sharded)),
                 ("connect_delta_frac", Json::Num(ab.connect_delta_frac())),
                 ("rps_delta_frac", Json::Num(ab.rps_delta_frac())),
+            ]),
+        ));
+    }
+    if let Some(ab) = &report.backend_ab {
+        fields.push((
+            "backend_ab",
+            Json::obj(vec![
+                ("workers", Json::Num(ab.workers as f64)),
+                (
+                    "sides",
+                    Json::Array(
+                        ab.sides
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("backend", Json::Str(s.backend.clone())),
+                                    ("replies_per_sec", Json::Num(s.replies_per_sec)),
+                                    ("p50_ms", Json::Num(s.p50_ms)),
+                                    ("p99_ms", Json::Num(s.p99_ms)),
+                                    ("replies", Json::Num(s.replies as f64)),
+                                    ("errors", Json::Num(s.errors as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ));
     }
@@ -586,10 +724,40 @@ pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
             })
         }
     };
+    // Optional, same pattern: the backend A/B postdates early baselines.
+    let backend_ab = match get(doc, "backend_ab") {
+        Err(_) => None,
+        Ok(v) => {
+            let obj = v.as_object().ok_or("'backend_ab' must be an object")?;
+            let rows = get(obj, "sides")?
+                .as_array()
+                .ok_or("'sides' must be an array")?;
+            if rows.is_empty() {
+                return Err("'backend_ab.sides' is empty".to_string());
+            }
+            let mut sides = Vec::new();
+            for row in rows {
+                let o = row.as_object().ok_or("backend side must be an object")?;
+                sides.push(BackendSide {
+                    backend: get_str(o, "backend")?.to_string(),
+                    replies_per_sec: get_num(o, "replies_per_sec")?,
+                    p50_ms: get_num(o, "p50_ms")?,
+                    p99_ms: get_num(o, "p99_ms")?,
+                    replies: get_num(o, "replies")? as u64,
+                    errors: get_num(o, "errors")? as u64,
+                });
+            }
+            Some(BackendAb {
+                workers: get_num(obj, "workers")? as usize,
+                sides,
+            })
+        }
+    };
     Ok(BenchReport {
         scale,
         results,
         accept_ab,
+        backend_ab,
     })
 }
 
@@ -918,10 +1086,35 @@ mod tests {
         }
     }
 
+    fn fake_backend_ab() -> BackendAb {
+        BackendAb {
+            workers: 2,
+            sides: vec![
+                BackendSide {
+                    backend: "epoll".to_string(),
+                    replies_per_sec: 9_500.0,
+                    p50_ms: 0.5,
+                    p99_ms: 2.0,
+                    replies: 14_000,
+                    errors: 0,
+                },
+                BackendSide {
+                    backend: "mock-completion".to_string(),
+                    replies_per_sec: 700.0,
+                    p50_ms: 8.0,
+                    p99_ms: 40.0,
+                    replies: 1_000,
+                    errors: 0,
+                },
+            ],
+        }
+    }
+
     fn fake_report() -> BenchReport {
         BenchReport {
             scale: "paper".to_string(),
             accept_ab: Some(fake_ab()),
+            backend_ab: Some(fake_backend_ab()),
             results: vec![
                 BenchResult {
                     arch: "nio-epoll-w1".to_string(),
@@ -984,18 +1177,39 @@ mod tests {
         assert_eq!(ab.handoff.mode, "handoff");
         assert_eq!(ab.sharded.conns, 920);
         assert!((ab.sharded.connect_mean_us - 90.0).abs() < 1e-9);
+        let bab = parsed.backend_ab.expect("backend A/B survives the roundtrip");
+        assert_eq!(bab.workers, 2);
+        assert_eq!(bab.sides.len(), 2);
+        assert_eq!(bab.sides[1].backend, "mock-completion");
+        assert_eq!(bab.sides[1].replies, 1_000);
     }
 
     #[test]
     fn baselines_without_accept_ab_still_validate() {
-        // A document written before the A/B section existed must keep
+        // A document written before the A/B sections existed must keep
         // parsing — the committed baseline stays valid until regenerated.
         let mut report = fake_report();
         report.accept_ab = None;
+        report.backend_ab = None;
         let text = bench_to_json(&report).render();
         let parsed = parse_bench_json(&text).expect("legacy document");
         assert!(parsed.accept_ab.is_none());
+        assert!(parsed.backend_ab.is_none());
         assert_eq!(parsed.results.len(), 2);
+    }
+
+    #[test]
+    fn backend_ab_gate_fires_on_errors_or_silence() {
+        let ab = fake_backend_ab();
+        assert!(backend_ab_checks(&ab).iter().all(|c| c.pass));
+        // A backend that errored: fail.
+        let mut err = fake_backend_ab();
+        err.sides[1].errors = 2;
+        assert!(backend_ab_checks(&err).iter().any(|c| !c.pass));
+        // A backend that served nothing: fail.
+        let mut silent = fake_backend_ab();
+        silent.sides[0].replies = 0;
+        assert!(backend_ab_checks(&silent).iter().any(|c| !c.pass));
     }
 
     #[test]
@@ -1086,9 +1300,13 @@ mod tests {
             assert!(side.replies_per_sec > 0.0);
             assert_eq!(side.errors, 0, "{}: {} errors", side.mode, side.errors);
         }
+        let bab = report.backend_ab.as_ref().expect("smoke bench runs the backend A/B");
+        assert!(bab.sides.len() >= 2, "epoll + mock-completion at minimum");
+        assert!(backend_ab_checks(bab).iter().all(|c| c.pass), "{bab:?}");
         // And the emitted document validates against its own schema.
         let parsed = parse_bench_json(&bench_to_json(&report).render()).expect("schema");
         assert_eq!(parsed.results.len(), 2);
         assert!(parsed.accept_ab.is_some());
+        assert!(parsed.backend_ab.is_some());
     }
 }

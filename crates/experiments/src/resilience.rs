@@ -149,7 +149,7 @@ impl Server {
             Server::Nio(
                 nioserver::NioServer::start(nioserver::NioConfig {
                     workers: 1,
-                    selector: nioserver::SelectorKind::Epoll,
+                    backend: nioserver::BackendKind::from_env(),
                     accept: nioserver::AcceptMode::from_env(),
                     shed_watermark: None,
                     lifecycle,

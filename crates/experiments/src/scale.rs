@@ -309,7 +309,7 @@ fn live_ramp(smoke: bool, arch: &str, socket_buffers: Option<(u32, u32)>) -> Sca
     let content = Arc::new(ContentStore::from_fileset(&files));
     let server = nioserver::NioServer::start(nioserver::NioConfig {
         workers: 2,
-        selector: nioserver::SelectorKind::Epoll,
+        backend: nioserver::BackendKind::Epoll,
         accept: nioserver::AcceptMode::Handoff,
         shed_watermark: None,
         lifecycle: {

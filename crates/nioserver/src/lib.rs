@@ -42,6 +42,7 @@
 //! [`obs::LiveEnds`] tally.
 
 pub use faults::AcceptMode;
+pub use reactor::{io_uring_available, BackendKind, BACKEND_ENV};
 
 use connslab::{Handle, Slab};
 use faults::DrainReport;
@@ -51,7 +52,8 @@ use httpcore::{
 };
 use obs::{EndCause, GaugeKind, LiveEnds, LiveGauges, ShardCell, ShardGauges, Stage, StageHists};
 use parking_lot::Mutex;
-use reactor::{DeadlineWheel, Event, Interest, Selector, Token, Waker};
+use reactor::backend::{Backend, Cqe, CqeKind, SubmitError};
+use reactor::{DeadlineWheel, Interest, Token, Waker};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd};
@@ -59,21 +61,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Which selector backend the workers use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SelectorKind {
-    /// `epoll(7)`: O(ready) — a modern JVM/kernel.
-    Epoll,
-    /// `poll(2)`: O(registered) — the 2004 testbed's behaviour.
-    Poll,
-}
-
 /// Server configuration.
 #[derive(Clone)]
 pub struct NioConfig {
     /// Worker (selector) threads. The paper's headline: 1–2 suffice.
     pub workers: usize,
-    pub selector: SelectorKind,
+    /// I/O engine per worker: readiness (`Epoll`, `Poll` — the paper's
+    /// selector pair) or completion (`MockCompletion`, `IoUring`) semantics,
+    /// all driven through one event-loop body.
+    pub backend: BackendKind,
     /// How connections reach a worker: `Handoff` (one acceptor thread, the
     /// paper's nio) or `Sharded` (per-worker `SO_REUSEPORT` listeners).
     pub accept: AcceptMode,
@@ -774,8 +770,16 @@ struct Conn {
     /// every pass while the flush is still in flight.
     peer_half_closed: bool,
     /// Interest currently registered with the selector — cached so the hot
-    /// path only pays a `reregister` syscall on an actual change.
+    /// path only pays a `reregister` syscall on an actual change. Readiness
+    /// backends only; completion backends imply interest by submitted ops.
     registered: Interest,
+    /// Completion backends: a read op is in flight (at most one per
+    /// connection, mirroring read interest on the readiness path).
+    read_inflight: bool,
+    /// Completion backends: a write op is in flight (at most one per
+    /// connection). While set, the submitted chunk's bytes are still
+    /// staged in `out` — [`ReplyQueue::consume`] runs only on `WriteDone`.
+    write_inflight: bool,
     /// Last observed progress (read bytes or write drain), ns since the
     /// worker epoch. The idle deadline slides from here.
     last_activity_ns: u64,
@@ -900,7 +904,7 @@ struct ShardState {
 #[allow(clippy::too_many_arguments)]
 fn install_conn(
     stream: TcpStream,
-    selector: &mut Box<dyn Selector>,
+    backend: &mut dyn Backend,
     conns: &mut Slab<Conn>,
     gauges: &LiveGauges,
     deadlines_on: bool,
@@ -916,14 +920,16 @@ fn install_conn(
         close_after_flush: false,
         peer_half_closed: false,
         registered: Interest::READABLE,
+        read_inflight: false,
+        write_inflight: false,
         last_activity_ns: 0,
         last_write_progress_ns: 0,
         bytes_flushed: 0,
         head_start_ns: 0,
         armed_until: u64::MAX,
     });
-    if selector
-        .register(fd, Token(handle.raw() as usize), Interest::READABLE)
+    if backend
+        .register_conn(fd, Token(handle.raw() as usize), Interest::READABLE)
         .is_err()
     {
         conns.remove(handle);
@@ -957,12 +963,15 @@ fn worker_loop(
         cell,
     } = seat;
     stats.alive_workers.fetch_add(1, Ordering::SeqCst);
-    let mut selector: Box<dyn Selector> = match cfg.selector {
-        SelectorKind::Epoll => Box::new(reactor::EpollSelector::new().expect("epoll")),
-        SelectorKind::Poll => Box::new(reactor::PollSelector::new()),
-    };
-    selector
-        .register(waker.read_fd(), WAKER_TOKEN, Interest::READABLE)
+    // One backend per worker: readiness (epoll/poll `Ready` events, worker
+    // does its own non-blocking I/O) or completion (submit/reap with
+    // backend-owned buffers). `IoUring` may fall back to epoll readiness
+    // when the kernel refuses the ring — `is_completion` reflects what
+    // actually runs.
+    let mut backend: Box<dyn Backend> = reactor::backend::create(cfg.backend);
+    let completion = backend.is_completion();
+    backend
+        .register_poll(waker.read_fd(), WAKER_TOKEN, Interest::READABLE)
         .expect("register waker");
     // Sharded mode: this worker is a shard. Its listener starts
     // deregistered; the reconcile step below registers it on the first loop
@@ -981,8 +990,13 @@ fn worker_loop(
     // and per-connection storage is dense — no hash table, no rehash spikes
     // at a million entries.
     let mut conns: Slab<Conn> = Slab::new();
-    let mut events: Vec<Event> = Vec::new();
+    let mut events: Vec<Cqe> = Vec::new();
     let mut read_buf = vec![0u8; 64 * 1024];
+    // Completion-path staging: `write_scratch` receives `ReplyQueue::peek`
+    // chunks for `submit_write`; `pump_retry` holds tokens whose submission
+    // hit a full SQ, retried after the next wait drains it.
+    let mut write_scratch: Vec<u8> = Vec::new();
+    let mut pump_retry: Vec<Token> = Vec::new();
     let mut date = httpcore::now_http_date();
     let mut date_refresh = std::time::Instant::now();
     let mut last_ready = 0usize;
@@ -1051,7 +1065,7 @@ fn worker_loop(
             gauges.sub(GaugeKind::AcceptBacklog, 1);
             if let Some(h) = install_conn(
                 stream,
-                &mut selector,
+                backend.as_mut(),
                 &mut conns,
                 &gauges,
                 deadlines_on,
@@ -1061,6 +1075,20 @@ fn worker_loop(
             ) {
                 if drain_swept {
                     drain_pending.push(h);
+                }
+                if completion {
+                    // Arm the first read now — a completion backend reports
+                    // nothing for a connection with no op in flight.
+                    let token = Token(h.raw() as usize);
+                    if let Some(conn) = conns.get_mut(h) {
+                        pump_conn(
+                            backend.as_mut(),
+                            conn,
+                            token,
+                            &mut write_scratch,
+                            &mut pump_retry,
+                        );
+                    }
                 }
             }
         }
@@ -1079,7 +1107,7 @@ fn worker_loop(
                     for l in orphans.drain(..) {
                         if s.registered {
                             let tok = Token(LISTENER_TOKEN_BASE + s.listeners.len());
-                            let _ = selector.register(l.as_raw_fd(), tok, Interest::READABLE);
+                            let _ = backend.register_poll(l.as_raw_fd(), tok, Interest::READABLE);
                         }
                         s.listeners.push(l);
                     }
@@ -1090,7 +1118,7 @@ fn worker_loop(
                 // connections from here on (the handoff analogue is the
                 // acceptor thread exiting and dropping the listen socket).
                 for l in &s.listeners {
-                    let _ = selector.deregister(l.as_raw_fd());
+                    let _ = backend.deregister(l.as_raw_fd());
                 }
                 s.listeners.clear();
                 s.registered = false;
@@ -1102,9 +1130,9 @@ fn worker_loop(
                 for (i, l) in s.listeners.iter().enumerate() {
                     if want {
                         let tok = Token(LISTENER_TOKEN_BASE + i);
-                        let _ = selector.register(l.as_raw_fd(), tok, Interest::READABLE);
+                        let _ = backend.register_poll(l.as_raw_fd(), tok, Interest::READABLE);
                     } else {
-                        let _ = selector.deregister(l.as_raw_fd());
+                        let _ = backend.deregister(l.as_raw_fd());
                     }
                 }
                 s.registered = want;
@@ -1122,7 +1150,7 @@ fn worker_loop(
         events.clear();
         // The waker interrupts this wait the moment a connection is handed
         // over; the 100 ms ceiling only bounds shutdown latency.
-        let _ = selector.select(&mut events, Some(Duration::from_millis(100)));
+        let _ = backend.wait(&mut events, Some(Duration::from_millis(100)));
         // Publish this worker's ready-set size; add-then-sub keeps the
         // shared (multi-worker) total from transiently saturating at zero.
         let ready = events.iter().filter(|e| e.token != WAKER_TOKEN).count();
@@ -1136,21 +1164,41 @@ fn worker_loop(
         } else {
             0
         };
-        // Drain the event buffer in place (`Event` is `Copy`): the `Vec`
-        // keeps its capacity across iterations instead of being discarded
-        // and regrown from zero every loop.
-        for ev in &events {
-            if ev.token == WAKER_TOKEN {
+        // SQ-full backpressure: `wait` just drained the submission queue,
+        // so tokens parked by an earlier refused submission pump again now.
+        // A token whose connection died in the meantime is stale by
+        // generation and skips for free.
+        if !pump_retry.is_empty() {
+            let parked = std::mem::take(&mut pump_retry);
+            for token in parked {
+                if let Some(conn) = conns.get_mut(Handle::from_raw(token.0 as u64)) {
+                    pump_conn(
+                        backend.as_mut(),
+                        conn,
+                        token,
+                        &mut write_scratch,
+                        &mut pump_retry,
+                    );
+                }
+            }
+        }
+        // Drain the event buffer in place: the `Vec` keeps its capacity
+        // across iterations instead of being discarded and regrown from
+        // zero every loop (`ReadDone` carries an owned buffer, so this is a
+        // move-out drain, not a copy scan).
+        for cqe in events.drain(..) {
+            let ev_token = cqe.token;
+            if ev_token == WAKER_TOKEN {
                 waker.drain();
                 continue;
             }
-            if ev.token.0 >= LISTENER_TOKEN_BASE {
+            if ev_token.0 >= LISTENER_TOKEN_BASE {
                 // A ready shard listener: accept until the burst is drained.
                 // This is the whole point of sharded mode — the connection
                 // goes from `accept(2)` to this worker's selector without a
                 // channel, a lock, or a cross-thread wake.
                 let Some(s) = shard.as_mut() else { continue };
-                let li = ev.token.0 - LISTENER_TOKEN_BASE;
+                let li = ev_token.0 - LISTENER_TOKEN_BASE;
                 if li >= s.listeners.len() || !s.registered {
                     continue; // stale event from a drained/backed-off listener
                 }
@@ -1172,7 +1220,7 @@ fn worker_loop(
                             };
                             if let Some(h) = install_conn(
                                 stream,
-                                &mut selector,
+                                backend.as_mut(),
                                 &mut conns,
                                 &gauges,
                                 deadlines_on,
@@ -1183,6 +1231,18 @@ fn worker_loop(
                                 s.cell.on_accept();
                                 if drain_swept {
                                     drain_pending.push(h);
+                                }
+                                if completion {
+                                    let token = Token(h.raw() as usize);
+                                    if let Some(conn) = conns.get_mut(h) {
+                                        pump_conn(
+                                            backend.as_mut(),
+                                            conn,
+                                            token,
+                                            &mut write_scratch,
+                                            &mut pump_retry,
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -1200,7 +1260,7 @@ fn worker_loop(
                                 stats.accept_errors.fetch_add(1, Ordering::Relaxed);
                                 ends.record(EndCause::FdReserve);
                                 for l in &s.listeners {
-                                    let _ = selector.deregister(l.as_raw_fd());
+                                    let _ = backend.deregister(l.as_raw_fd());
                                 }
                                 s.registered = false;
                                 s.resume_at = Some(Instant::now() + s.backoff);
@@ -1219,37 +1279,105 @@ fn worker_loop(
             // The token *is* the packed slab handle: a generation-checked
             // indexed load resolves the connection, and an event raced
             // against a close (even one whose slot was already reused) is a
-            // clean miss, never an aliased lookup.
-            let handle = Handle::from_raw(ev.token.0 as u64);
+            // clean miss, never an aliased lookup. A missed `ReadDone` still
+            // owes its backend-owned buffer back to the pool.
+            let handle = Handle::from_raw(ev_token.0 as u64);
             let Some(conn) = conns.get_mut(handle) else {
+                if let CqeKind::ReadDone { buf, .. } = cqe.kind {
+                    backend.recycle(buf);
+                }
                 continue;
             };
-            // An error/hang-up event with nothing readable is fatal —
-            // except on a half-closed connection, where EPOLLRDHUP is
-            // permanently asserted by the peer's FIN and the connection
-            // must stay alive exactly as long as it still owes output.
-            let mut dead = ev.error && !ev.readable && !(conn.peer_half_closed && ev.writable);
             let flushed_before = conn.bytes_flushed;
             let had_output = conn.wants_write();
-            if ev.readable && !dead {
-                dead = handle_readable(
-                    conn,
-                    &cfg,
-                    &stats,
-                    &ends,
-                    &mut read_buf,
-                    &date,
-                    &mut local_hists,
-                    &mut head_pool,
-                    &mut req_pool,
-                );
-            }
-            if ev.writable && !dead {
-                // Writability means queued output: this flush burst is
-                // transfer time by definition.
-                let t0 = Instant::now();
-                dead = flush_output(conn, &stats, &mut head_pool);
-                local_hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
+            let mut dead = false;
+            match cqe.kind {
+                CqeKind::Ready {
+                    readable,
+                    writable,
+                    error,
+                } => {
+                    // An error/hang-up event with nothing readable is fatal
+                    // — except on a half-closed connection, where EPOLLRDHUP
+                    // is permanently asserted by the peer's FIN and the
+                    // connection must stay alive exactly as long as it still
+                    // owes output.
+                    dead = error && !readable && !(conn.peer_half_closed && writable);
+                    if readable && !dead {
+                        dead = handle_readable(
+                            conn,
+                            &cfg,
+                            &stats,
+                            &ends,
+                            &mut read_buf,
+                            &date,
+                            &mut local_hists,
+                            &mut head_pool,
+                            &mut req_pool,
+                        );
+                    }
+                    if writable && !dead {
+                        // Writability means queued output: this flush burst
+                        // is transfer time by definition.
+                        let t0 = Instant::now();
+                        dead = flush_output(conn, &stats, &mut head_pool);
+                        local_hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                CqeKind::ReadDone { buf, n, err } => {
+                    conn.read_inflight = false;
+                    match err {
+                        // No progress (spurious completion) or a late cancel
+                        // racing a teardown that didn't happen: benign, the
+                        // pump below resubmits.
+                        Some(reactor::backend::EAGAIN) | Some(reactor::backend::ECANCELED) => {}
+                        Some(_) => dead = true,
+                        None if n == 0 => {
+                            // Clean EOF — the completion-model twin of the
+                            // readiness path's `read() == 0` (see
+                            // `handle_readable`): serve what was pipelined,
+                            // flush what is owed, then close.
+                            conn.peer_half_closed = true;
+                            conn.close_after_flush = true;
+                            dead = !conn.wants_write();
+                        }
+                        None => {
+                            process_input(
+                                conn,
+                                &cfg,
+                                &stats,
+                                &ends,
+                                &buf[..n],
+                                &date,
+                                &mut local_hists,
+                                &mut head_pool,
+                                &mut req_pool,
+                            );
+                        }
+                    }
+                    backend.recycle(buf);
+                }
+                CqeKind::WriteDone { n, err } => {
+                    conn.write_inflight = false;
+                    match err {
+                        // EAGAIN: the submitted copy is consumed but zero
+                        // bytes moved; the queue cursor did not advance, so
+                        // the pump re-peeks the identical bytes.
+                        Some(reactor::backend::EAGAIN) | Some(reactor::backend::ECANCELED) => {}
+                        Some(_) => dead = true,
+                        None => {
+                            // Possibly short: consume exactly what the op
+                            // wrote — the cursor slides mid-chunk just like
+                            // a short `writev` — and the next pump submits
+                            // the remainder.
+                            let t0 = Instant::now();
+                            conn.out.consume(n, &mut head_pool);
+                            stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                            conn.bytes_flushed += n as u64;
+                            local_hists.record(Stage::Transfer, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                }
             }
             if !dead && !conn.wants_write() && conn.close_after_flush {
                 dead = true;
@@ -1281,7 +1409,7 @@ fn worker_loop(
                 } else {
                     conn.head_start_ns = 0;
                 }
-                rearm_deadline(&mut wheel, conn, ev.token.0, &cfg.lifecycle);
+                rearm_deadline(&mut wheel, conn, ev_token.0, &cfg.lifecycle);
             }
             if dead {
                 if draining {
@@ -1292,20 +1420,33 @@ fn worker_loop(
                     }
                 }
                 let fd = conn.stream.as_raw_fd();
-                let _ = selector.deregister(fd);
+                let _ = backend.deregister(fd);
                 conns.remove(handle);
                 gauges.sub(GaugeKind::OpenConns, 1);
                 gauges.sub(GaugeKind::RegisteredConns, 1);
                 if let Some(s) = shard.as_ref() {
                     s.cell.on_close();
                 }
+            } else if completion {
+                // Completion model: interest is implied by in-flight ops —
+                // keep a read armed (unless the peer half-closed) and a
+                // write armed while output is owed. A live connection
+                // always has at least one op in flight, so it can never
+                // silently fall out of the event stream.
+                pump_conn(
+                    backend.as_mut(),
+                    conn,
+                    ev_token,
+                    &mut write_scratch,
+                    &mut pump_retry,
+                );
             } else {
                 // Only an actual interest change costs a syscall; the
                 // steady read-only request/reply cadence pays none.
                 let want = conn.interest();
                 if want != conn.registered {
                     let fd = conn.stream.as_raw_fd();
-                    if selector.reregister(fd, ev.token, want).is_ok() {
+                    if backend.set_interest(fd, ev_token, want).is_ok() {
                         conn.registered = want;
                     }
                 }
@@ -1363,7 +1504,7 @@ fn worker_loop(
                         ctl.drained.fetch_add(1, Ordering::SeqCst);
                     }
                 }
-                let _ = selector.deregister(conn.stream.as_raw_fd());
+                let _ = backend.deregister(conn.stream.as_raw_fd());
                 gauges.sub(GaugeKind::OpenConns, 1);
                 gauges.sub(GaugeKind::RegisteredConns, 1);
                 if let Some(s) = shard.as_ref() {
@@ -1403,7 +1544,7 @@ fn worker_loop(
                     } else {
                         ctl.drained.fetch_add(1, Ordering::SeqCst);
                     }
-                    let _ = selector.deregister(conn.stream.as_raw_fd());
+                    let _ = backend.deregister(conn.stream.as_raw_fd());
                     gauges.sub(GaugeKind::OpenConns, 1);
                     gauges.sub(GaugeKind::RegisteredConns, 1);
                     if let Some(s) = &shard {
@@ -1424,7 +1565,7 @@ fn worker_loop(
                     } else {
                         ctl.drained.fetch_add(1, Ordering::SeqCst);
                     }
-                    let _ = selector.deregister(conn.stream.as_raw_fd());
+                    let _ = backend.deregister(conn.stream.as_raw_fd());
                     gauges.sub(GaugeKind::OpenConns, 1);
                     gauges.sub(GaugeKind::RegisteredConns, 1);
                     if let Some(s) = &shard {
@@ -1441,7 +1582,106 @@ fn worker_loop(
     hists.lock().merge(&local_hists);
 }
 
-/// Drain the socket and serve every complete request. Returns true when the
+/// Feed freshly arrived request bytes through the parser and serve every
+/// complete request — the backend-agnostic middle of the read path, shared
+/// by the readiness loop (which read the bytes itself) and the completion
+/// loop (which got them from a `ReadDone` buffer). Flushing is the caller's
+/// job: readiness flushes opportunistically, completion submits a write op.
+#[allow(clippy::too_many_arguments)]
+fn process_input(
+    conn: &mut Conn,
+    cfg: &NioConfig,
+    stats: &NioStats,
+    ends: &LiveEnds,
+    data: &[u8],
+    date: &str,
+    hists: &mut StageHists,
+    head_pool: &mut HeadPool,
+    req_pool: &mut RequestPool,
+) {
+    // Stage clocks: feed+parse is the parse burst (restarted after each
+    // served request so pipelined requests each get their own sample), the
+    // response build is service.
+    let mut p0 = Instant::now();
+    conn.parser.feed(data);
+    loop {
+        match conn.parser.parse_pooled(req_pool) {
+            ParseOutcome::Complete(req) => {
+                hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
+                let s0 = Instant::now();
+                serve(conn, cfg, stats, &req, date, head_pool);
+                // Return the request's allocations to the worker's pool for
+                // the next parse on *any* connection — idle connections
+                // hold no scratch.
+                req_pool.give(req);
+                hists.record(Stage::Service, s0.elapsed().as_nanos() as u64);
+                p0 = Instant::now();
+            }
+            ParseOutcome::Incomplete => break,
+            ParseOutcome::Error(e) => {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                // A tripped parser *limit* is a resource defense, not a
+                // syntax error: say so with 431 and count it in the
+                // lifecycle tally.
+                let status = match e {
+                    ParseError::LineTooLong | ParseError::TooManyHeaders => {
+                        ends.record(EndCause::ParseLimit);
+                        Status::RequestHeaderFieldsTooLarge
+                    }
+                    _ => Status::BadRequest,
+                };
+                respond_status(conn, status, date, head_pool);
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+}
+
+/// How much staged output one completion write op carries. Big enough that
+/// a whole typical reply ships in one op, small enough to bound the
+/// per-submission copy (`submit_write` copies at submit time — the price of
+/// completion semantics over a caller-owned queue; registered buffers would
+/// remove it and are future work, see DESIGN.md §16).
+const WRITE_CHUNK: usize = 32 * 1024;
+
+/// Completion-model op upkeep for a live connection: keep exactly one read
+/// in flight (unless the peer half-closed — the submit/reap twin of
+/// dropping read interest) and one write while output is owed. A refused
+/// submission (`SqFull`) parks the token in `retry`; the caller re-pumps
+/// after the next `wait` drains the queue. Invariant: a live connection
+/// always leaves with ≥1 op in flight or its token parked, so it can never
+/// fall out of the event stream.
+fn pump_conn(
+    backend: &mut dyn Backend,
+    conn: &mut Conn,
+    token: Token,
+    scratch: &mut Vec<u8>,
+    retry: &mut Vec<Token>,
+) {
+    let fd = conn.stream.as_raw_fd();
+    let mut parked = false;
+    if !conn.write_inflight && conn.wants_write() {
+        scratch.clear();
+        conn.out.peek(scratch, WRITE_CHUNK);
+        match backend.submit_write(fd, token, scratch) {
+            Ok(()) => conn.write_inflight = true,
+            Err(SubmitError::SqFull) => parked = true,
+        }
+    }
+    if !conn.read_inflight && !conn.peer_half_closed {
+        match backend.submit_read(fd, token) {
+            Ok(()) => conn.read_inflight = true,
+            Err(SubmitError::SqFull) => parked = true,
+        }
+    }
+    if parked {
+        retry.push(token);
+    }
+}
+
+/// Drain the socket and serve every complete request — the readiness-model
+/// read path (the worker owns the syscalls). Returns true when the
 /// connection must be torn down.
 #[allow(clippy::too_many_arguments)]
 fn handle_readable(
@@ -1470,44 +1710,9 @@ fn handle_readable(
                 return !conn.wants_write();
             }
             Ok(n) => {
-                // Stage clocks: feed+parse is the parse burst (restarted
-                // after each served request so pipelined requests each get
-                // their own sample), the response build is service, the
-                // opportunistic flush below is transfer.
-                let mut p0 = Instant::now();
-                conn.parser.feed(&scratch[..n]);
-                loop {
-                    match conn.parser.parse_pooled(req_pool) {
-                        ParseOutcome::Complete(req) => {
-                            hists.record(Stage::Parse, p0.elapsed().as_nanos() as u64);
-                            let s0 = Instant::now();
-                            serve(conn, cfg, stats, &req, date, head_pool);
-                            // Return the request's allocations to the
-                            // worker's pool for the next parse on *any*
-                            // connection — idle connections hold no scratch.
-                            req_pool.give(req);
-                            hists.record(Stage::Service, s0.elapsed().as_nanos() as u64);
-                            p0 = Instant::now();
-                        }
-                        ParseOutcome::Incomplete => break,
-                        ParseOutcome::Error(e) => {
-                            stats.parse_errors.fetch_add(1, Ordering::Relaxed);
-                            // A tripped parser *limit* is a resource
-                            // defense, not a syntax error: say so with 431
-                            // and count it in the lifecycle tally.
-                            let status = match e {
-                                ParseError::LineTooLong | ParseError::TooManyHeaders => {
-                                    ends.record(EndCause::ParseLimit);
-                                    Status::RequestHeaderFieldsTooLarge
-                                }
-                                _ => Status::BadRequest,
-                            };
-                            respond_status(conn, status, date, head_pool);
-                            conn.close_after_flush = true;
-                            break;
-                        }
-                    }
-                }
+                process_input(
+                    conn, cfg, stats, ends, &scratch[..n], date, hists, head_pool, req_pool,
+                );
                 // Opportunistic write of what we just queued (timed as
                 // transfer only when there is output to move).
                 let had_output = conn.wants_write();
@@ -1728,14 +1933,14 @@ mod tests {
         Arc::new(ContentStore::from_fileset(&fs))
     }
 
-    fn start(workers: usize, selector: SelectorKind) -> NioServer {
-        start_mode(workers, selector, AcceptMode::Handoff)
+    fn start(workers: usize, backend: BackendKind) -> NioServer {
+        start_mode(workers, backend, AcceptMode::Handoff)
     }
 
-    fn start_mode(workers: usize, selector: SelectorKind, accept: AcceptMode) -> NioServer {
+    fn start_mode(workers: usize, backend: BackendKind, accept: AcceptMode) -> NioServer {
         NioServer::start(NioConfig {
             workers,
-            selector,
+            backend,
             accept,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1759,7 +1964,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1775,7 +1980,7 @@ mod tests {
 
     #[test]
     fn unknown_path_is_404() {
-        let server = start(1, SelectorKind::Poll);
+        let server = start(1, BackendKind::Poll);
         let (status, body) = get(server.addr(), "/nope");
         assert_eq!(status, 404);
         assert!(body.is_empty());
@@ -1787,7 +1992,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 2,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1827,7 +2032,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1861,7 +2066,7 @@ mod tests {
     fn half_close_with_partial_head_closes_without_answer() {
         // FIN while a head is dangling: it can never complete, so the
         // server closes cleanly without inventing a 408.
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t").unwrap();
@@ -1880,7 +2085,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default().with_buffers(4096, 4096),
@@ -1895,7 +2100,7 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400_and_close() {
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
@@ -1912,7 +2117,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1941,7 +2146,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -1970,7 +2175,7 @@ mod tests {
     fn many_concurrent_connections_on_one_worker() {
         // The paper's architectural claim in miniature: one worker thread
         // multiplexes many simultaneously connected clients.
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         let addr = server.addr();
         let handles: Vec<_> = (0..32)
             .map(|i| {
@@ -1999,7 +2204,7 @@ mod tests {
 
     #[test]
     fn acceptor_survives_worker_crash_and_restart() {
-        let server = start(2, SelectorKind::Epoll);
+        let server = start(2, BackendKind::Epoll);
         let up = (0..100).any(|_| {
             std::thread::sleep(Duration::from_millis(10));
             server.stats().alive_workers.load(Ordering::SeqCst) == 2
@@ -2030,7 +2235,7 @@ mod tests {
 
     #[test]
     fn stall_accepts_blocks_then_recovers() {
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         server.stall_accepts(true);
         let addr = server.addr();
         let t = std::thread::spawn(move || get(addr, "/f/0"));
@@ -2044,7 +2249,7 @@ mod tests {
 
     #[test]
     fn graceful_drain_closes_idle_and_reports() {
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         // An idle keep-alive connection: one request, then silence.
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
@@ -2069,7 +2274,7 @@ mod tests {
     fn start_with_lifecycle(lifecycle: LifecyclePolicy) -> NioServer {
         NioServer::start(NioConfig {
             workers: 1,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Handoff,
             shed_watermark: None,
             lifecycle,
@@ -2080,7 +2285,7 @@ mod tests {
 
     #[test]
     fn oversize_request_line_gets_431_not_400() {
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         // Request line longer than the default 8192-byte per-line limit.
@@ -2190,7 +2395,7 @@ mod tests {
 
     #[test]
     fn sharded_serves_files_end_to_end() {
-        let server = start_mode(2, SelectorKind::Epoll, AcceptMode::Sharded);
+        let server = start_mode(2, BackendKind::Epoll, AcceptMode::Sharded);
         for i in 0..8 {
             let (status, _) = get(server.addr(), &format!("/f/{}", i % 20));
             assert_eq!(status, 200, "request {i}");
@@ -2209,7 +2414,7 @@ mod tests {
         let content = test_content();
         let server = NioServer::start(NioConfig {
             workers: 2,
-            selector: SelectorKind::Epoll,
+            backend: BackendKind::Epoll,
             accept: AcceptMode::Sharded,
             shed_watermark: None,
             lifecycle: LifecyclePolicy::default(),
@@ -2242,7 +2447,7 @@ mod tests {
         // of the listen port — a survivor adopts the orphaned listener fd,
         // so every subsequent connection is still served no matter which
         // reuseport bucket the kernel hashes it into.
-        let server = start_mode(2, SelectorKind::Epoll, AcceptMode::Sharded);
+        let server = start_mode(2, BackendKind::Epoll, AcceptMode::Sharded);
         let up = (0..100).any(|_| {
             std::thread::sleep(Duration::from_millis(10));
             server.stats().alive_workers.load(Ordering::SeqCst) == 2
@@ -2277,7 +2482,7 @@ mod tests {
 
     #[test]
     fn sharded_stall_blocks_then_recovers() {
-        let server = start_mode(2, SelectorKind::Epoll, AcceptMode::Sharded);
+        let server = start_mode(2, BackendKind::Epoll, AcceptMode::Sharded);
         server.stall_accepts(true);
         std::thread::sleep(Duration::from_millis(50)); // let shards deregister
         let addr = server.addr();
@@ -2292,7 +2497,7 @@ mod tests {
 
     #[test]
     fn sharded_graceful_drain_reports() {
-        let server = start_mode(1, SelectorKind::Epoll, AcceptMode::Sharded);
+        let server = start_mode(1, BackendKind::Epoll, AcceptMode::Sharded);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
@@ -2311,7 +2516,7 @@ mod tests {
         // stays far below 2.0 (mean 512/shard, σ=16 — a 1.5 bound is >9σ);
         // a broken sharded path (one dead or unregistered listener) shows
         // up as an unbounded ratio or hung connections instead.
-        let server = start_mode(2, SelectorKind::Epoll, AcceptMode::Sharded);
+        let server = start_mode(2, BackendKind::Epoll, AcceptMode::Sharded);
         let addr = server.addr();
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -2370,7 +2575,7 @@ mod tests {
     fn default_lifecycle_never_times_out_thinking_clients() {
         // Paper shape preserved: with the default policy a silent keep-alive
         // connection survives arbitrarily long thinking pauses.
-        let server = start(1, SelectorKind::Epoll);
+        let server = start(1, BackendKind::Epoll);
         let mut s = TcpStream::connect(server.addr()).unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
@@ -2385,5 +2590,300 @@ mod tests {
         assert_eq!(head.status, 200);
         assert_eq!(server.ends().total(), 0, "no lifecycle teardowns");
         server.shutdown();
+    }
+
+    // ---- cross-backend matrix -------------------------------------------
+    //
+    // The same observable behaviour on every engine: readiness (epoll),
+    // deterministic mock completion (with fault injection), and — when the
+    // kernel cooperates — real io_uring. Each test below loops the full
+    // matrix so a semantic drift between the readiness and completion legs
+    // of the event loop fails by name.
+
+    fn matrix_backends() -> Vec<BackendKind> {
+        let mut v = vec![BackendKind::Epoll, BackendKind::MockCompletion];
+        if reactor::io_uring_available() {
+            v.push(BackendKind::IoUring);
+        }
+        v
+    }
+
+    #[test]
+    fn every_backend_serves_files_end_to_end() {
+        let content = test_content();
+        for backend in matrix_backends() {
+            for accept in [AcceptMode::Handoff, AcceptMode::Sharded] {
+                let server = NioServer::start(NioConfig {
+                    workers: 2,
+                    backend,
+                    accept,
+                    shed_watermark: None,
+                    lifecycle: LifecyclePolicy::default(),
+                    content: Arc::clone(&content),
+                })
+                .unwrap();
+                let (status, body) = get(server.addr(), "/f/3");
+                assert_eq!(status, 200, "{backend:?}/{accept:?}");
+                assert_eq!(
+                    body,
+                    content.body(workload::FileId(3)),
+                    "{backend:?}/{accept:?}"
+                );
+                let (status, _) = get(server.addr(), "/nope");
+                assert_eq!(status, 404, "{backend:?}/{accept:?}");
+                server.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_pipelines_and_half_closes() {
+        // Pipelined keep-alive burst followed by SHUT_WR: the completion
+        // path must treat a 0-byte ReadDone exactly like the readiness
+        // path's read()==0 — drain the owed replies, then FIN cleanly.
+        let content = test_content();
+        for backend in matrix_backends() {
+            let server = start(1, backend);
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(
+                b"GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\nGET /f/1 HTTP/1.1\r\nHost: t\r\n\r\n",
+            )
+            .unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).expect("clean close, not a reset");
+            let mut off = 0;
+            for id in 0..2u32 {
+                let head = httpcore::parse_response_head(&buf[off..])
+                    .expect("complete head")
+                    .expect("valid head");
+                assert_eq!(head.status, 200, "{backend:?} reply {id}");
+                let body = &buf[off + head.head_len..off + head.head_len + head.content_length];
+                assert_eq!(body, content.body(workload::FileId(id)), "{backend:?} reply {id}");
+                off += head.head_len + head.content_length;
+            }
+            assert_eq!(off, buf.len(), "{backend:?}: trailing bytes");
+            server.shutdown();
+        }
+    }
+
+    /// Read exactly one complete response (head + body) from a keep-alive
+    /// connection, in as many reads as the fragmentation demands.
+    fn read_one_reply(s: &mut TcpStream, ctx: &str) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 65536];
+        loop {
+            if let Some(head) = httpcore::parse_response_head(&buf) {
+                let head = head.expect("valid head");
+                if buf.len() >= head.head_len + head.content_length {
+                    return buf;
+                }
+            }
+            let n = s
+                .read(&mut tmp)
+                .unwrap_or_else(|e| panic!("{ctx}: read mid-reply: {e}"));
+            assert!(n > 0, "{ctx}: EOF before a complete reply");
+            buf.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    fn start_backend_policy(
+        backend: BackendKind,
+        lifecycle: LifecyclePolicy,
+        content: Arc<ContentStore>,
+    ) -> NioServer {
+        NioServer::start(NioConfig {
+            workers: 1,
+            backend,
+            accept: AcceptMode::Handoff,
+            shed_watermark: None,
+            lifecycle,
+            content,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn every_backend_enforces_idle_timeout() {
+        for backend in matrix_backends() {
+            let server = start_backend_policy(
+                backend,
+                LifecyclePolicy {
+                    idle_timeout: Some(Duration::from_millis(300)),
+                    ..LifecyclePolicy::default()
+                },
+                test_content(),
+            );
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            write!(s, "GET /f/0 HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            // Drain the whole reply before going silent: under scripted
+            // short writes it arrives fragmented, and leftover bytes would
+            // make the post-sleep read look like a live connection.
+            read_one_reply(&mut s, &format!("{backend:?}"));
+            std::thread::sleep(Duration::from_millis(900));
+            let mut tmp = [0u8; 65536];
+            let dead = matches!(s.read(&mut tmp), Ok(0) | Err(_));
+            assert!(dead, "{backend:?}: idle connection must be reclaimed");
+            assert_eq!(server.ends().get(obs::EndCause::IdleTimeout), 1, "{backend:?}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn every_backend_answers_408_on_slow_header() {
+        // Under completion semantics a read op is in flight when the header
+        // deadline fires; the teardown must cancel it and still deliver the
+        // 408 head through the direct flush path.
+        for backend in matrix_backends() {
+            let server = start_backend_policy(
+                backend,
+                LifecyclePolicy {
+                    header_timeout: Some(Duration::from_millis(300)),
+                    ..LifecyclePolicy::default()
+                },
+                test_content(),
+            );
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(b"GET /f/0 HT").unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            let head = httpcore::parse_response_head(&buf).unwrap().unwrap();
+            assert_eq!(head.status, 408, "{backend:?}");
+            assert_eq!(
+                server.ends().get(obs::EndCause::HeaderTimeout),
+                1,
+                "{backend:?}"
+            );
+            server.shutdown();
+        }
+    }
+
+    /// One file of exactly `min_bytes` — large enough that a trimmed send
+    /// buffer cannot swallow the whole reply, so the flush genuinely parks.
+    fn big_content(min_bytes: u64) -> Arc<ContentStore> {
+        let mut rng = Rng::new(9);
+        let fs = FileSet::build(
+            &SurgeConfig {
+                num_files: 1,
+                tail_prob: 0.0,
+                min_bytes,
+                ..SurgeConfig::default()
+            },
+            &mut rng,
+        );
+        Arc::new(ContentStore::from_fileset(&fs))
+    }
+
+    #[test]
+    fn every_backend_reclaims_stalled_writers() {
+        // A client that requests a megabyte and never reads: once the
+        // kernel windows fill, no WriteDone (or writable event) arrives,
+        // the stall clock stops sliding, and the wheel reclaims the
+        // connection abortively.
+        let content = big_content(1 << 20);
+        for backend in matrix_backends() {
+            let server = start_backend_policy(
+                backend,
+                LifecyclePolicy {
+                    write_stall_timeout: Some(Duration::from_millis(400)),
+                    ..LifecyclePolicy::default()
+                }
+                .with_buffers(16 * 1024, 16 * 1024),
+                Arc::clone(&content),
+            );
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            set_rcvbuf(&s, 8 * 1024).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            // Never read. The abort must land well before the client's own
+            // read timeout; read_to_end then fails (RST) or comes up short.
+            let stalled = (0..100).any(|_| {
+                std::thread::sleep(Duration::from_millis(50));
+                server.ends().get(obs::EndCause::WriteStall) == 1
+            });
+            assert!(stalled, "{backend:?}: stalled writer never reclaimed");
+            let mut buf = Vec::new();
+            let short = match s.read_to_end(&mut buf) {
+                Err(_) => true,
+                Ok(_) => buf.len() < (1 << 20),
+            };
+            assert!(short, "{backend:?}: full body despite never reading");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn every_backend_slides_write_stall_only_on_progress() {
+        // The converse: a reader that is slow but steady makes progress on
+        // every chunk, so each flush slides the stall clock and a transfer
+        // taking several multiples of the timeout still completes. A
+        // backend that slides the clock on reads (or on no progress at
+        // all) passes the test above but fails this one, and vice versa.
+        //
+        // Margins matter: the client's per-read gap must stay far under
+        // the stall timeout even when a loaded single-CPU host deschedules
+        // the client thread for hundreds of milliseconds — a too-tight
+        // timeout turns scheduler noise into a legitimate-looking stall
+        // and the test flakes. 25 ms cadence vs a 1.2 s timeout gives
+        // ~50x headroom while the 320 KB body still takes several
+        // timeouts' worth of wall clock to drain.
+        let stall = Duration::from_millis(1200);
+        let content = big_content(320 * 1024);
+        let total = content.size_of(workload::FileId(0)) as usize;
+        for backend in matrix_backends() {
+            let server = start_backend_policy(
+                backend,
+                LifecyclePolicy {
+                    write_stall_timeout: Some(stall),
+                    ..LifecyclePolicy::default()
+                }
+                .with_buffers(16 * 1024, 16 * 1024),
+                Arc::clone(&content),
+            );
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            set_rcvbuf(&s, 8 * 1024).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+            s.write_all(b"GET /f/0 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let t0 = Instant::now();
+            let mut got = Vec::new();
+            let mut chunk = [0u8; 4 * 1024];
+            loop {
+                match s.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        got.extend_from_slice(&chunk[..n]);
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => panic!(
+                        "{backend:?}: reset mid-transfer at {}/{total} after {:?} \
+                         (write-stalls tallied: {}): {e}",
+                        got.len(),
+                        t0.elapsed(),
+                        server.ends().get(obs::EndCause::WriteStall)
+                    ),
+                }
+            }
+            assert!(
+                got.len() >= total,
+                "{backend:?}: transfer truncated at {}/{total}",
+                got.len()
+            );
+            assert!(
+                t0.elapsed() > stall,
+                "{backend:?}: transfer too fast to exercise the slide ({:?})",
+                t0.elapsed()
+            );
+            assert_eq!(
+                server.ends().get(obs::EndCause::WriteStall),
+                0,
+                "{backend:?}: steady progress must never trip the stall clock"
+            );
+            server.shutdown();
+        }
     }
 }

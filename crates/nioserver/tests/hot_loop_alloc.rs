@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use desim::Rng;
 use httpcore::ContentStore;
-use nioserver::{NioConfig, NioServer, SelectorKind};
+use nioserver::{NioConfig, NioServer, BackendKind};
 use workload::{FileSet, SurgeConfig};
 
 struct CountingAlloc;
@@ -89,7 +89,7 @@ fn run_burst(stream: &mut TcpStream, req: &[u8], resp_len: usize, buf: &mut [u8]
 fn steady_state_request_loop_allocates_nothing() {
     let server = NioServer::start(NioConfig {
         workers: 1,
-        selector: SelectorKind::Epoll,
+        backend: BackendKind::Epoll,
         accept: faults::AcceptMode::Handoff,
         shed_watermark: None,
         lifecycle: Default::default(),

@@ -6,7 +6,7 @@
 
 use desim::Rng;
 use httpcore::{write_head, write_head_full, ContentStore, Status, Version};
-use nioserver::{NioConfig, NioServer, SelectorKind};
+use nioserver::{NioConfig, NioServer, BackendKind};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -26,10 +26,10 @@ fn content() -> Arc<ContentStore> {
     Arc::new(ContentStore::from_fileset(&fs))
 }
 
-fn start(selector: SelectorKind, content: &Arc<ContentStore>) -> NioServer {
+fn start(backend: BackendKind, content: &Arc<ContentStore>) -> NioServer {
     NioServer::start(NioConfig {
         workers: 1,
-        selector,
+        backend,
         accept: nioserver::AcceptMode::from_env(),
         shed_watermark: None,
         lifecycle: httpcore::LifecyclePolicy::default(),
@@ -90,8 +90,8 @@ fn reference(
     out
 }
 
-fn both_selectors() -> [SelectorKind; 2] {
-    [SelectorKind::Epoll, SelectorKind::Poll]
+fn both_selectors() -> [BackendKind; 2] {
+    [BackendKind::Epoll, BackendKind::Poll]
 }
 
 #[test]

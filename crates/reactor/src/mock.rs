@@ -1,0 +1,731 @@
+//! The deterministic mock-completion backend: io_uring *semantics* over
+//! ordinary sockets, with every source of scheduling freedom scripted by a
+//! seed so tier-1 tests can exercise the completion contract (DESIGN.md
+//! §16) without a cooperating kernel.
+//!
+//! What the seed scripts, per [`MockConfig`]:
+//!
+//! * **Completion order.** All ops executable in one `wait` pass are
+//!   shuffled by the seeded RNG before execution, so completions for
+//!   different tokens interleave in seed-chosen permutations (the order
+//!   contract only pins same-token, same-direction ops).
+//! * **Short reads / short writes.** Each executed op moves a seed-chosen
+//!   number of bytes, 1..=the configured chunk cap, so a reply crosses the
+//!   socket in arbitrary fragments and the caller's partial-write cursor
+//!   and re-feed paths run constantly.
+//! * **EAGAIN injection.** With configured odds an executable op completes
+//!   with `err == EAGAIN` and zero progress instead of doing I/O — the
+//!   spurious-completion clause of the contract; the caller must resubmit.
+//!
+//! Bounded queues: `submit_*` refuses with [`SubmitError::SqFull`] once
+//! `sq_capacity` ops are queued ahead of a `wait`, and each `wait` delivers
+//! at most `cq_capacity` completions — ops left unexecuted simply stay
+//! pending (readiness is level-triggered underneath, so nothing is lost).
+//!
+//! Underneath sits a private [`EpollSelector`]: an op only executes once
+//! its fd reports the matching readiness, which is what makes the mock
+//! honest — a read on a silent socket pends exactly like a real completion
+//! backend, and a write into a full send buffer parks until the peer
+//! drains, letting write-stall deadlines fire upstream.
+
+use crate::backend::{Backend, BackendKind, Cqe, CqeKind, SubmitError, EAGAIN, ECANCELED};
+use crate::selector::{EpollSelector, Event, Interest, Selector, Token};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Knobs for the mock's scripted nondeterminism. Every field is
+/// deterministic given the seed; two backends built from equal configs
+/// execute identical op permutations against identical readiness.
+#[derive(Debug, Clone, Copy)]
+pub struct MockConfig {
+    pub seed: u64,
+    /// Ops that may queue between waits before `submit_*` says `SqFull`.
+    pub sq_capacity: usize,
+    /// Completions delivered per `wait`; surplus executable ops stay
+    /// pending for the next pass.
+    pub cq_capacity: usize,
+    /// Capacity of backend-owned read buffers.
+    pub read_buf: usize,
+    /// Short-read cap: each executed read moves 1..=this many bytes.
+    pub max_read_chunk: usize,
+    /// Short-write cap: each executed write moves 1..=this many bytes.
+    pub max_write_chunk: usize,
+    /// EAGAIN-injection odds: `eagain_num` in `eagain_den` executable ops
+    /// complete with no progress. Zero numerator disables injection.
+    pub eagain_num: u64,
+    pub eagain_den: u64,
+}
+
+impl Default for MockConfig {
+    fn default() -> MockConfig {
+        MockConfig {
+            seed: 0x5EED_CAFE,
+            sq_capacity: 64,
+            cq_capacity: 64,
+            read_buf: 64 * 1024,
+            max_read_chunk: 64 * 1024,
+            max_write_chunk: 32 * 1024,
+            eagain_num: 1,
+            eagain_den: 16,
+        }
+    }
+}
+
+/// xorshift64* — tiny, seedable, good enough to script permutations; keeps
+/// the reactor crate dependency-free.
+#[derive(Debug)]
+struct ScriptRng(u64);
+
+impl ScriptRng {
+    fn new(seed: u64) -> ScriptRng {
+        // A zero state would be a fixed point; fold in a constant.
+        ScriptRng((seed ^ 0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A queued-but-not-yet-accepted submission.
+#[derive(Debug)]
+enum SqOp {
+    Read { fd: RawFd },
+    Write { fd: RawFd, data: Vec<u8> },
+}
+
+/// Completion-registered connection fd: pending ops imply interest.
+#[derive(Debug)]
+struct ConnEntry {
+    token: Token,
+    read_pending: bool,
+    /// The submitted copy, owned until its (single) completion.
+    write_pending: Option<Vec<u8>>,
+    /// Interest currently armed with the inner selector; `None` when the
+    /// fd is not registered there (no pending ops).
+    armed: Option<Interest>,
+}
+
+/// Readiness-registered fd (listener, waker): persistent passthrough.
+#[derive(Debug)]
+struct PollEntry {
+    token: Token,
+    interest: Interest,
+}
+
+/// See the module docs. Built via [`MockCompletionBackend::default_seeded`]
+/// (the `create()` path) or [`MockCompletionBackend::new`] for tests that
+/// pin tiny queues or hostile chunking.
+pub struct MockCompletionBackend {
+    cfg: MockConfig,
+    rng: ScriptRng,
+    inner: EpollSelector,
+    conns: HashMap<RawFd, ConnEntry>,
+    polls: HashMap<RawFd, PollEntry>,
+    /// Token → fd for event dispatch (tokens are unique per event loop).
+    by_token: HashMap<usize, RawFd>,
+    sq: VecDeque<SqOp>,
+    /// Cancellation completions minted by `deregister`, delivered ahead of
+    /// fresh executions (still under the CQ bound).
+    cancelled: VecDeque<Cqe>,
+    pool: Vec<Vec<u8>>,
+    events: Vec<Event>,
+    /// Scratch for the per-wait executable-op permutation.
+    exec: Vec<(RawFd, bool, bool)>,
+}
+
+impl MockCompletionBackend {
+    pub fn new(cfg: MockConfig) -> MockCompletionBackend {
+        assert!(cfg.sq_capacity > 0 && cfg.cq_capacity > 0);
+        assert!(cfg.read_buf > 0 && cfg.max_read_chunk > 0 && cfg.max_write_chunk > 0);
+        MockCompletionBackend {
+            rng: ScriptRng::new(cfg.seed),
+            cfg,
+            inner: EpollSelector::new().expect("epoll for mock-completion backend"),
+            conns: HashMap::new(),
+            polls: HashMap::new(),
+            by_token: HashMap::new(),
+            sq: VecDeque::new(),
+            cancelled: VecDeque::new(),
+            pool: Vec::new(),
+            events: Vec::new(),
+            exec: Vec::new(),
+        }
+    }
+
+    /// The `create()` constructor: fixed seed so every worker in a test
+    /// process replays the same script.
+    pub fn default_seeded() -> MockCompletionBackend {
+        MockCompletionBackend::new(MockConfig::default())
+    }
+
+    /// Default queues and chunking, custom seed — the permutation proptests.
+    pub fn with_seed(seed: u64) -> MockCompletionBackend {
+        MockCompletionBackend::new(MockConfig { seed, ..MockConfig::default() })
+    }
+
+    fn take_buf(&mut self) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(self.cfg.read_buf, 0);
+        buf
+    }
+
+    /// Move queued submissions into per-connection pending slots.
+    /// Submissions that outlived their fd complete as `ECANCELED`.
+    fn drain_sq(&mut self) {
+        while let Some(op) = self.sq.pop_front() {
+            match op {
+                SqOp::Read { fd } => match self.conns.get_mut(&fd) {
+                    Some(c) => {
+                        debug_assert!(!c.read_pending, "one read in flight per token");
+                        c.read_pending = true;
+                    }
+                    None => self.cancelled.push_back(Cqe {
+                        token: Token(usize::MAX),
+                        kind: CqeKind::ReadDone { buf: Vec::new(), n: 0, err: Some(ECANCELED) },
+                    }),
+                },
+                SqOp::Write { fd, data } => match self.conns.get_mut(&fd) {
+                    Some(c) => {
+                        debug_assert!(c.write_pending.is_none(), "one write in flight per token");
+                        c.write_pending = Some(data);
+                    }
+                    None => self.cancelled.push_back(Cqe {
+                        token: Token(usize::MAX),
+                        kind: CqeKind::WriteDone { n: 0, err: Some(ECANCELED) },
+                    }),
+                },
+            }
+        }
+    }
+
+    /// Re-arm the inner selector so each conn's interest mirrors its
+    /// pending ops (and deregister idle conns — a level-triggered error
+    /// condition on an op-less fd must not spin the wait loop).
+    fn reconcile_interest(&mut self) -> io::Result<()> {
+        for (&fd, c) in &mut self.conns {
+            let want = Interest { readable: c.read_pending, writable: c.write_pending.is_some() };
+            let idle = !want.readable && !want.writable;
+            match (c.armed, idle) {
+                (None, true) => {}
+                (None, false) => {
+                    self.inner.register(fd, c.token, want)?;
+                    c.armed = Some(want);
+                }
+                (Some(_), true) => {
+                    self.inner.deregister(fd)?;
+                    c.armed = None;
+                }
+                (Some(cur), false) if cur != want => {
+                    self.inner.reregister(fd, c.token, want)?;
+                    c.armed = Some(want);
+                }
+                (Some(_), false) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one pending read. Exactly one CQE per call.
+    fn run_read(&mut self, fd: RawFd, token: Token, out: &mut Vec<Cqe>) {
+        let inject = self.cfg.eagain_num > 0
+            && self.rng.below(self.cfg.eagain_den) < self.cfg.eagain_num;
+        if inject {
+            out.push(Cqe {
+                token,
+                kind: CqeKind::ReadDone { buf: Vec::new(), n: 0, err: Some(EAGAIN) },
+            });
+            return;
+        }
+        let mut buf = self.take_buf();
+        let cap = buf.len().min(self.cfg.max_read_chunk);
+        let limit = 1 + self.rng.below(cap as u64) as usize;
+        let kind = loop {
+            let n = unsafe { sys_recv(fd, buf.as_mut_ptr(), limit) };
+            if n >= 0 {
+                break CqeKind::ReadDone { buf, n: n as usize, err: None };
+            }
+            let errno = io::Error::last_os_error().raw_os_error().unwrap_or(0);
+            match errno {
+                EINTR => continue,
+                // Readiness raced away (or only an error flag was up with
+                // nothing buffered): a no-progress completion; resubmit.
+                E_AGAIN => break CqeKind::ReadDone { buf, n: 0, err: Some(EAGAIN) },
+                e => break CqeKind::ReadDone { buf, n: 0, err: Some(e) },
+            }
+        };
+        out.push(Cqe { token, kind });
+    }
+
+    /// Execute one pending write (the submitted copy is consumed either
+    /// way — on a short write the caller resubmits the remainder).
+    fn run_write(&mut self, fd: RawFd, token: Token, data: Vec<u8>, out: &mut Vec<Cqe>) {
+        let inject = self.cfg.eagain_num > 0
+            && self.rng.below(self.cfg.eagain_den) < self.cfg.eagain_num;
+        if inject {
+            out.push(Cqe { token, kind: CqeKind::WriteDone { n: 0, err: Some(EAGAIN) } });
+            return;
+        }
+        let cap = data.len().min(self.cfg.max_write_chunk);
+        let limit = 1 + self.rng.below(cap as u64) as usize;
+        let kind = loop {
+            let n = unsafe { sys_send(fd, data.as_ptr(), limit) };
+            if n >= 0 {
+                break CqeKind::WriteDone { n: n as usize, err: None };
+            }
+            let errno = io::Error::last_os_error().raw_os_error().unwrap_or(0);
+            match errno {
+                EINTR => continue,
+                E_AGAIN => break CqeKind::WriteDone { n: 0, err: Some(EAGAIN) },
+                e => break CqeKind::WriteDone { n: 0, err: Some(e) },
+            }
+        };
+        out.push(Cqe { token, kind });
+    }
+}
+
+impl Backend for MockCompletionBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::MockCompletion
+    }
+
+    fn register_conn(&mut self, fd: RawFd, token: Token, _interest: Interest) -> io::Result<()> {
+        // Interest is implied by submitted ops; only record the fd.
+        self.conns.insert(
+            fd,
+            ConnEntry { token, read_pending: false, write_pending: None, armed: None },
+        );
+        self.by_token.insert(token.0, fd);
+        Ok(())
+    }
+
+    fn register_poll(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)?;
+        self.polls.insert(fd, PollEntry { token, interest });
+        self.by_token.insert(token.0, fd);
+        Ok(())
+    }
+
+    fn set_interest(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        if let Some(p) = self.polls.get_mut(&fd) {
+            p.interest = interest;
+            p.token = token;
+            return self.inner.reregister(fd, token, interest);
+        }
+        // Connection fds: interest is op-implied; nothing to do.
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        if let Some(c) = self.conns.remove(&fd) {
+            self.by_token.remove(&c.token.0);
+            if c.armed.is_some() {
+                self.inner.deregister(fd)?;
+            }
+            // Cancel in-flight ops: their completions surface as ECANCELED
+            // and the caller token-miss tolerates them (the write's copy
+            // dies here; a cancelled read never borrowed a buffer).
+            if c.read_pending {
+                self.cancelled.push_back(Cqe {
+                    token: c.token,
+                    kind: CqeKind::ReadDone { buf: Vec::new(), n: 0, err: Some(ECANCELED) },
+                });
+            }
+            if c.write_pending.is_some() {
+                self.cancelled.push_back(Cqe {
+                    token: c.token,
+                    kind: CqeKind::WriteDone { n: 0, err: Some(ECANCELED) },
+                });
+            }
+            return Ok(());
+        }
+        if let Some(p) = self.polls.remove(&fd) {
+            self.by_token.remove(&p.token.0);
+            return self.inner.deregister(fd);
+        }
+        Ok(())
+    }
+
+    fn submit_read(&mut self, fd: RawFd, _token: Token) -> Result<(), SubmitError> {
+        if self.sq.len() >= self.cfg.sq_capacity {
+            return Err(SubmitError::SqFull);
+        }
+        self.sq.push_back(SqOp::Read { fd });
+        Ok(())
+    }
+
+    fn submit_write(&mut self, fd: RawFd, _token: Token, data: &[u8]) -> Result<(), SubmitError> {
+        if self.sq.len() >= self.cfg.sq_capacity {
+            return Err(SubmitError::SqFull);
+        }
+        self.sq.push_back(SqOp::Write { fd, data: data.to_vec() });
+        Ok(())
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    fn wait(&mut self, out: &mut Vec<Cqe>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = out.len();
+        self.drain_sq();
+        self.reconcile_interest()?;
+
+        // Cancellations first — bounded by the CQ like everything else.
+        let mut budget = self.cfg.cq_capacity;
+        while budget > 0 {
+            match self.cancelled.pop_front() {
+                Some(c) => {
+                    out.push(c);
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+        // With completions already delivered, poll readiness without
+        // blocking so the caller gets back to work.
+        let tmo = if out.len() > before { Some(Duration::ZERO) } else { timeout };
+        self.events.clear();
+        self.inner.select(&mut self.events, tmo)?;
+
+        // Passthrough fds deliver `Ready` directly (level-triggered — a
+        // condition the caller leaves undrained simply re-reports, so the
+        // CQ bound does not apply). Conn fds queue for scripted execution.
+        self.exec.clear();
+        for i in 0..self.events.len() {
+            let ev = self.events[i];
+            let Some(&fd) = self.by_token.get(&ev.token.0) else { continue };
+            if self.polls.contains_key(&fd) {
+                out.push(Cqe {
+                    token: ev.token,
+                    kind: CqeKind::Ready {
+                        readable: ev.readable,
+                        writable: ev.writable,
+                        error: ev.error,
+                    },
+                });
+            } else if self.conns.contains_key(&fd) {
+                // Error-flagged events unblock both directions: the op
+                // runs and observes EOF/ECONNRESET/EPIPE itself.
+                self.exec.push((fd, ev.readable || ev.error, ev.writable || ev.error));
+            }
+        }
+        // Canonical order, then the seeded permutation: completion order
+        // across tokens is scripted, not epoll's.
+        self.exec.sort_unstable();
+        let mut exec = std::mem::take(&mut self.exec);
+        for i in (1..exec.len()).rev() {
+            exec.swap(i, self.rng.below(i as u64 + 1) as usize);
+        }
+        for &(fd, r, w) in &exec {
+            let Some(c) = self.conns.get_mut(&fd) else { continue };
+            let token = c.token;
+            let run_read = r && c.read_pending;
+            let run_write = w && c.write_pending.is_some();
+            if run_read && budget > 0 {
+                c.read_pending = false;
+                self.run_read(fd, token, out);
+                budget -= 1;
+            }
+            if run_write && budget > 0 {
+                // Re-borrow: run_read released the map borrow.
+                if let Some(c) = self.conns.get_mut(&fd) {
+                    if let Some(data) = c.write_pending.take() {
+                        self.run_write(fd, token, data, out);
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        self.exec = exec;
+        Ok(out.len() - before)
+    }
+
+    fn registered(&self) -> usize {
+        self.conns.len() + self.polls.len()
+    }
+}
+
+const EINTR: i32 = 4;
+const E_AGAIN: i32 = 11;
+const MSG_NOSIGNAL: i32 = 0x4000;
+
+/// `recv(2)`/`send(2)` on raw fds — `MSG_NOSIGNAL` so a write into a
+/// reset connection reports `EPIPE` instead of raising `SIGPIPE` (std's
+/// `TcpStream` does the same; the mock operates below it).
+unsafe fn sys_recv(fd: RawFd, buf: *mut u8, len: usize) -> isize {
+    extern "C" {
+        fn recv(fd: i32, buf: *mut std::os::raw::c_void, len: usize, flags: i32) -> isize;
+    }
+    recv(fd, buf as *mut _, len, 0)
+}
+
+unsafe fn sys_send(fd: RawFd, buf: *const u8, len: usize) -> isize {
+    extern "C" {
+        fn send(fd: i32, buf: *const std::os::raw::c_void, len: usize, flags: i32) -> isize;
+    }
+    send(fd, buf as *const _, len, MSG_NOSIGNAL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn no_eagain() -> MockConfig {
+        MockConfig { eagain_num: 0, ..MockConfig::default() }
+    }
+
+    /// Drive `wait` until `pred` says the collected completions suffice.
+    fn wait_until(
+        b: &mut MockCompletionBackend,
+        got: &mut Vec<Cqe>,
+        pred: impl Fn(&[Cqe]) -> bool,
+    ) {
+        for _ in 0..1000 {
+            if pred(got) {
+                return;
+            }
+            b.wait(got, Some(Duration::from_millis(50))).unwrap();
+        }
+        panic!("mock backend made no progress: {got:?}");
+    }
+
+    #[test]
+    fn read_completes_with_submitted_bytes() {
+        let (server_side, mut client) = pair();
+        let mut b = MockCompletionBackend::new(no_eagain());
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(7), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(7)).unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut got = Vec::new();
+        wait_until(&mut b, &mut got, |g| {
+            g.iter().any(|c| matches!(c.kind, CqeKind::ReadDone { n, .. } if n > 0))
+        });
+        let mut data = Vec::new();
+        for c in got {
+            assert_eq!(c.token, Token(7));
+            if let CqeKind::ReadDone { buf, n, err } = c.kind {
+                assert_eq!(err, None);
+                data.extend_from_slice(&buf[..n]);
+                b.recycle(buf);
+            }
+        }
+        assert_eq!(&data, b"hello");
+    }
+
+    #[test]
+    fn eof_is_a_zero_byte_clean_completion() {
+        let (server_side, client) = pair();
+        let mut b = MockCompletionBackend::new(no_eagain());
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(1), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(1)).unwrap();
+        drop(client);
+        let mut got = Vec::new();
+        wait_until(&mut b, &mut got, |g| !g.is_empty());
+        match &got[0].kind {
+            CqeKind::ReadDone { n, err, .. } => {
+                assert_eq!((*n, *err), (0, None), "FIN must be a clean EOF completion");
+            }
+            other => panic!("expected ReadDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_writes_deliver_every_byte_in_order() {
+        let (server_side, mut client) = pair();
+        client.set_nonblocking(false).unwrap();
+        let mut b = MockCompletionBackend::new(MockConfig {
+            max_write_chunk: 3,
+            ..no_eagain()
+        });
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(9), Interest::WRITABLE).unwrap();
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        let mut sent = 0usize;
+        let mut got = Vec::new();
+        while sent < payload.len() {
+            b.submit_write(fd, Token(9), &payload[sent..]).unwrap();
+            let before = got.len();
+            wait_until(&mut b, &mut got, |g| g.len() > before);
+            for c in got.drain(..) {
+                match c.kind {
+                    CqeKind::WriteDone { n, err: None } => {
+                        assert!(n <= 3, "short-write cap violated: {n}");
+                        sent += n;
+                    }
+                    CqeKind::WriteDone { err: Some(e), .. } => panic!("write errno {e}"),
+                    other => panic!("unexpected completion {other:?}"),
+                }
+            }
+        }
+        let mut echo = vec![0u8; payload.len()];
+        std::io::Read::read_exact(&mut client, &mut echo).unwrap();
+        assert_eq!(&echo, payload);
+    }
+
+    #[test]
+    fn eagain_injection_makes_no_progress_and_resubmission_succeeds() {
+        let (server_side, mut client) = pair();
+        // Always inject: the first completion of every op is EAGAIN.
+        let mut b = MockCompletionBackend::new(MockConfig {
+            eagain_num: 1,
+            eagain_den: 1,
+            ..MockConfig::default()
+        });
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(3), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(3)).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut got = Vec::new();
+        wait_until(&mut b, &mut got, |g| !g.is_empty());
+        match &got[0].kind {
+            CqeKind::ReadDone { n, err, .. } => assert_eq!((*n, *err), (0, Some(EAGAIN))),
+            other => panic!("expected ReadDone, got {other:?}"),
+        }
+        // The byte is still there for the resubmission once injection is
+        // turned back off.
+        b.cfg.eagain_num = 0;
+        got.clear();
+        b.submit_read(fd, Token(3)).unwrap();
+        wait_until(&mut b, &mut got, |g| {
+            g.iter().any(|c| matches!(c.kind, CqeKind::ReadDone { n, .. } if n == 1))
+        });
+    }
+
+    #[test]
+    fn sq_refuses_above_capacity_and_drains_on_wait() {
+        let (server_side, _client) = pair();
+        let mut b = MockCompletionBackend::new(MockConfig {
+            sq_capacity: 2,
+            ..no_eagain()
+        });
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(1), Interest::BOTH).unwrap();
+        b.submit_write(fd, Token(1), b"a").unwrap();
+        b.submit_read(fd, Token(1)).unwrap();
+        assert_eq!(b.submit_read(fd, Token(1)), Err(SubmitError::SqFull));
+        let mut got = Vec::new();
+        b.wait(&mut got, Some(Duration::from_millis(20))).unwrap();
+        // Queue drained into pending slots: submissions are accepted again
+        // (for a token with nothing in flight).
+        let (other, _keep) = pair();
+        b.register_conn(other.as_raw_fd(), Token(2), Interest::BOTH).unwrap();
+        assert_eq!(b.submit_read(other.as_raw_fd(), Token(2)), Ok(()));
+    }
+
+    fn count_cancels(got: &[Cqe]) -> usize {
+        got.iter()
+            .filter(|c| match &c.kind {
+                CqeKind::ReadDone { err, .. } => *err == Some(ECANCELED),
+                CqeKind::WriteDone { err, .. } => *err == Some(ECANCELED),
+                CqeKind::Ready { .. } => false,
+            })
+            .count()
+    }
+
+    #[test]
+    fn deregister_cancels_pending_ops() {
+        // A read parked on a silent socket (already accepted into its
+        // pending slot) cancels at deregister, tagged with its token.
+        let (server_side, _client) = pair();
+        let mut b = MockCompletionBackend::new(no_eagain());
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(5), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(5)).unwrap();
+        let mut got = Vec::new();
+        b.wait(&mut got, Some(Duration::ZERO)).unwrap();
+        assert!(got.is_empty(), "nothing to read yet: {got:?}");
+        b.deregister(fd).unwrap();
+        assert_eq!(b.registered(), 0);
+        b.wait(&mut got, Some(Duration::ZERO)).unwrap();
+        assert_eq!(count_cancels(&got), 1, "{got:?}");
+        assert_eq!(got[0].token, Token(5));
+    }
+
+    #[test]
+    fn deregister_cancels_ops_still_queued_in_the_sq() {
+        // Ops that never left the submission queue before the fd died
+        // still complete — as ECANCELED token-misses, never silently.
+        let (server_side, _client) = pair();
+        let mut b = MockCompletionBackend::new(no_eagain());
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(6), Interest::BOTH).unwrap();
+        b.submit_read(fd, Token(6)).unwrap();
+        b.submit_write(fd, Token(6), b"bye").unwrap();
+        b.deregister(fd).unwrap();
+        let mut got = Vec::new();
+        b.wait(&mut got, Some(Duration::ZERO)).unwrap();
+        assert_eq!(count_cancels(&got), 2, "{got:?}");
+    }
+
+    #[test]
+    fn poll_registrations_pass_readiness_through() {
+        let (server_side, mut client) = pair();
+        let mut b = MockCompletionBackend::new(no_eagain());
+        let fd = server_side.as_raw_fd();
+        b.register_poll(fd, Token(42), Interest::READABLE).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        wait_until(&mut b, &mut got, |g| !g.is_empty());
+        assert_eq!(got[0].token, Token(42));
+        assert!(matches!(got[0].kind, CqeKind::Ready { readable: true, .. }));
+    }
+
+    #[test]
+    fn cq_bound_defers_surplus_completions() {
+        // Four conns with readable data, CQ of one: each wait delivers
+        // exactly one completion and the rest stay pending, never lost.
+        let pairs: Vec<_> = (0..4).map(|_| pair()).collect();
+        let mut b = MockCompletionBackend::new(MockConfig {
+            cq_capacity: 1,
+            ..no_eagain()
+        });
+        for (i, (server_side, _)) in pairs.iter().enumerate() {
+            let fd = server_side.as_raw_fd();
+            b.register_conn(fd, Token(i + 1), Interest::READABLE).unwrap();
+            b.submit_read(fd, Token(i + 1)).unwrap();
+        }
+        for (_, client) in &pairs {
+            let mut c = client;
+            c.write_all(b"z").unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let mut got = Vec::new();
+            wait_until(&mut b, &mut got, |g| !g.is_empty());
+            assert_eq!(got.len(), 1, "CQ bound of one: {got:?}");
+            seen.push(got[0].token);
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "every conn's read completed exactly once");
+    }
+}

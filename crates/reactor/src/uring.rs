@@ -1,0 +1,927 @@
+//! The real `io_uring(7)` completion backend — raw syscalls, no crates,
+//! same shape as SNIPPETS.md snippet 2's owned-buffer completion loop.
+//!
+//! Scope is deliberately the subset the [`Backend`] contract needs:
+//!
+//! * `IORING_OP_READ` / `IORING_OP_WRITE` for connection I/O, one op per
+//!   direction per token, with backend-owned buffers (reads draw from a
+//!   recycle pool; writes copy at submit).
+//! * Single-shot `IORING_OP_POLL_ADD` for readiness-only fds (listeners,
+//!   wakers), re-armed on every delivery so the caller sees level-style
+//!   `Ready` events.
+//! * `IORING_OP_ASYNC_CANCEL` (by op id) at `deregister`, so a torn-down
+//!   connection's in-flight ops drain as `ECANCELED` token-misses.
+//! * `io_uring_enter(EXT_ARG)` for bounded waits — no timeout sqe
+//!   bookkeeping, one syscall per reap.
+//!
+//! Tokens are arbitrary `usize` values (the slab packs a generation into
+//! the high bits, listener tokens sit near `usize::MAX/2`), so `user_data`
+//! cannot carry the token directly with tag bits; instead every op gets a
+//! fresh 64-bit id mapped to `(kind, token, fd)` in [`UringBackend::ops`].
+//!
+//! [`UringBackend::probe`] builds a ring and pushes a NOP through a
+//! timed `enter` before declaring the backend usable — kernels (or seccomp
+//! policies) that refuse `io_uring_setup`, or predate `EXT_ARG`
+//! (< 5.11), fail the probe and [`crate::backend::create`] falls back to
+//! epoll readiness. The suites treat that as skip, not failure.
+
+use crate::backend::{Backend, BackendKind, Cqe, CqeKind, SubmitError};
+use crate::selector::{Interest, Token};
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+const SYS_IO_URING_SETUP: i64 = 425;
+const SYS_IO_URING_ENTER: i64 = 426;
+
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+
+const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+const IORING_ENTER_EXT_ARG: u32 = 1 << 3;
+
+const IORING_OP_NOP: u8 = 0;
+const IORING_OP_POLL_ADD: u8 = 6;
+const IORING_OP_ASYNC_CANCEL: u8 = 14;
+const IORING_OP_READ: u8 = 22;
+const IORING_OP_WRITE: u8 = 23;
+
+const POLLIN: u32 = 0x001;
+const POLLOUT: u32 = 0x004;
+const POLLERR: u32 = 0x008;
+const POLLHUP: u32 = 0x010;
+const POLLRDHUP: u32 = 0x2000;
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 0x01;
+const MAP_POPULATE: i32 = 0x8000;
+
+const EINTR: i32 = 4;
+const ETIME: i32 = 62;
+const READ_BUF: usize = 64 * 1024;
+const RING_ENTRIES: u32 = 256;
+
+#[repr(C)]
+#[derive(Default)]
+struct SqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default)]
+struct CqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqringOffsets,
+    cq_off: CqringOffsets,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    op_flags: u32,
+    user_data: u64,
+    buf_index: u16,
+    personality: u16,
+    splice_fd_in: i32,
+    pad2: [u64; 2],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RawCqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+#[repr(C)]
+struct GeteventsArg {
+    sigmask: u64,
+    sigmask_sz: u32,
+    pad: u32,
+    ts: u64,
+}
+
+extern "C" {
+    fn syscall(num: i64, ...) -> i64;
+    fn mmap(
+        addr: *mut std::os::raw::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        off: i64,
+    ) -> *mut std::os::raw::c_void;
+    fn munmap(addr: *mut std::os::raw::c_void, len: usize) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt64(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One mmapped region (unmapped on drop).
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl Mapping {
+    fn new(ring_fd: RawFd, len: usize, offset: i64) -> io::Result<Mapping> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_POPULATE,
+                ring_fd,
+                offset,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping { ptr: ptr as *mut u8, len })
+    }
+
+    /// # Safety
+    /// `off` must lie inside the mapping and point at a `T` the kernel
+    /// placed there (ring offsets from `io_uring_setup`).
+    unsafe fn at<T>(&self, off: u32) -> *mut T {
+        self.ptr.add(off as usize) as *mut T
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        unsafe { munmap(self.ptr as *mut _, self.len) };
+    }
+}
+
+/// What an in-flight op id resolves to when its CQE lands.
+enum OpRec {
+    Read { token: Token, buf: Vec<u8> },
+    Write { token: Token, buf: Vec<u8> },
+    Poll { fd: RawFd },
+    /// NOP / cancel / probe plumbing — CQE dropped on the floor.
+    Internal,
+}
+
+/// See the module docs.
+pub struct UringBackend {
+    ring_fd: RawFd,
+    // Mappings are held only so Drop unmaps them; all access goes through
+    // the raw pointers below.
+    #[allow(dead_code)]
+    sq_ring: Mapping,
+    /// `None` when `IORING_FEAT_SINGLE_MMAP` folded the CQ into `sq_ring`.
+    #[allow(dead_code)]
+    cq_ring: Option<Mapping>,
+    sqes: Mapping,
+
+    // SQ ring geometry (pointers into sq_ring).
+    sq_khead: *const u32,
+    sq_ktail: *mut u32,
+    sq_mask: u32,
+    sq_entries: u32,
+    sq_array: *mut u32,
+    /// Local shadow of the SQ tail.
+    sq_tail: u32,
+    /// SQEs pushed since the last `enter`.
+    to_submit: u32,
+
+    // CQ ring geometry.
+    cq_khead: *mut u32,
+    cq_ktail: *const u32,
+    cq_mask: u32,
+    cqes: *const RawCqe,
+
+    next_op: u64,
+    ops: HashMap<u64, OpRec>,
+    /// Per-fd in-flight op ids, for targeted cancel at deregister.
+    conn_ops: HashMap<RawFd, Vec<u64>>,
+    /// Readiness registrations: fd → (token, interest, armed op id).
+    polls: HashMap<RawFd, (Token, Interest, Option<u64>)>,
+    /// Conn registrations (`registered()` and sanity only).
+    conns: HashMap<RawFd, Token>,
+    /// Cancels / poll re-arms that hit a full SQ, retried each wait.
+    deferred: Vec<Sqe>,
+    pool: Vec<Vec<u8>>,
+}
+
+// The ring is owned by one worker thread; raw pointers refer to mappings
+// that move with the struct.
+unsafe impl Send for UringBackend {}
+
+impl UringBackend {
+    /// Build a ring and prove it works end to end (NOP through a timed
+    /// `EXT_ARG` enter). `None` on any refusal — caller falls back.
+    pub fn probe() -> Option<UringBackend> {
+        let mut b = UringBackend::new(RING_ENTRIES).ok()?;
+        let id = b.op_id();
+        b.ops.insert(id, OpRec::Internal);
+        let sqe = Sqe {
+            opcode: IORING_OP_NOP,
+            user_data: id,
+            ..Sqe::default()
+        };
+        if b.push_sqe(sqe).is_err() {
+            return None;
+        }
+        let mut out = Vec::new();
+        // A NOP completes immediately; one timed enter must reap it.
+        match b.wait(&mut out, Some(Duration::from_millis(100))) {
+            Ok(_) if b.ops.is_empty() => Some(b),
+            _ => None,
+        }
+    }
+
+    fn new(entries: u32) -> io::Result<UringBackend> {
+        let mut params = UringParams::default();
+        let ring_fd = cvt64(unsafe {
+            syscall(SYS_IO_URING_SETUP, entries, &mut params as *mut UringParams)
+        })? as RawFd;
+        // From here on, any failure must close the fd; wrap early.
+        let build = (|| -> io::Result<UringBackend> {
+            let sq_size = params.sq_off.array as usize
+                + params.sq_entries as usize * std::mem::size_of::<u32>();
+            let cq_size = params.cq_off.cqes as usize
+                + params.cq_entries as usize * std::mem::size_of::<RawCqe>();
+            let single = params.features & IORING_FEAT_SINGLE_MMAP != 0;
+            let sq_ring = Mapping::new(
+                ring_fd,
+                if single { sq_size.max(cq_size) } else { sq_size },
+                IORING_OFF_SQ_RING,
+            )?;
+            let cq_ring = if single {
+                None
+            } else {
+                Some(Mapping::new(ring_fd, cq_size, IORING_OFF_CQ_RING)?)
+            };
+            let sqes = Mapping::new(
+                ring_fd,
+                params.sq_entries as usize * std::mem::size_of::<Sqe>(),
+                IORING_OFF_SQES,
+            )?;
+            let cqm = cq_ring.as_ref().unwrap_or(&sq_ring);
+            let backend = unsafe {
+                UringBackend {
+                    sq_khead: sq_ring.at(params.sq_off.head),
+                    sq_ktail: sq_ring.at(params.sq_off.tail),
+                    sq_mask: *sq_ring.at::<u32>(params.sq_off.ring_mask),
+                    sq_entries: params.sq_entries,
+                    sq_array: sq_ring.at(params.sq_off.array),
+                    sq_tail: *sq_ring.at::<u32>(params.sq_off.tail),
+                    cq_khead: cqm.at(params.cq_off.head),
+                    cq_ktail: cqm.at(params.cq_off.tail),
+                    cq_mask: *cqm.at::<u32>(params.cq_off.ring_mask),
+                    cqes: cqm.at(params.cq_off.cqes),
+                    ring_fd,
+                    sq_ring,
+                    cq_ring,
+                    sqes,
+                    to_submit: 0,
+                    next_op: 1,
+                    ops: HashMap::new(),
+                    conn_ops: HashMap::new(),
+                    polls: HashMap::new(),
+                    conns: HashMap::new(),
+                    deferred: Vec::new(),
+                    pool: Vec::new(),
+                }
+            };
+            Ok(backend)
+        })();
+        if build.is_err() {
+            unsafe { close(ring_fd) };
+        }
+        build
+    }
+
+    fn op_id(&mut self) -> u64 {
+        let id = self.next_op;
+        self.next_op += 1;
+        id
+    }
+
+    /// Write an SQE into the ring. `SqFull` when a full ring's worth is
+    /// already pending unsubmitted-or-unreaped.
+    fn push_sqe(&mut self, sqe: Sqe) -> Result<(), SubmitError> {
+        let head = unsafe { atomic_load(self.sq_khead) };
+        if self.sq_tail.wrapping_sub(head) >= self.sq_entries {
+            return Err(SubmitError::SqFull);
+        }
+        let idx = self.sq_tail & self.sq_mask;
+        unsafe {
+            self.sqes.at::<Sqe>(0).add(idx as usize).write(sqe);
+            self.sq_array.add(idx as usize).write(idx);
+        }
+        self.sq_tail = self.sq_tail.wrapping_add(1);
+        unsafe { atomic_store(self.sq_ktail, self.sq_tail) };
+        self.to_submit += 1;
+        Ok(())
+    }
+
+    /// Best-effort push for internal ops (cancel, poll re-arm): a full SQ
+    /// defers to the next wait instead of failing the caller.
+    fn push_or_defer(&mut self, sqe: Sqe) {
+        if let Err(SubmitError::SqFull) = self.push_sqe(sqe) {
+            self.deferred.push(sqe);
+        }
+    }
+
+    fn flush_deferred(&mut self) {
+        let deferred = std::mem::take(&mut self.deferred);
+        for sqe in deferred {
+            self.push_or_defer(sqe);
+        }
+    }
+
+    fn arm_poll(&mut self, fd: RawFd, interest: Interest) {
+        let mut mask = POLLERR | POLLHUP;
+        if interest.readable {
+            mask |= POLLIN | POLLRDHUP;
+        }
+        if interest.writable {
+            mask |= POLLOUT;
+        }
+        let id = self.op_id();
+        self.ops.insert(id, OpRec::Poll { fd });
+        if let Some(p) = self.polls.get_mut(&fd) {
+            p.2 = Some(id);
+        }
+        let sqe = Sqe {
+            opcode: IORING_OP_POLL_ADD,
+            fd,
+            op_flags: mask,
+            user_data: id,
+            ..Sqe::default()
+        };
+        self.push_or_defer(sqe);
+    }
+
+    fn cancel_op(&mut self, target: u64) {
+        let id = self.op_id();
+        self.ops.insert(id, OpRec::Internal);
+        let sqe = Sqe {
+            opcode: IORING_OP_ASYNC_CANCEL,
+            fd: -1,
+            addr: target,
+            user_data: id,
+            ..Sqe::default()
+        };
+        self.push_or_defer(sqe);
+    }
+
+    fn cq_ready(&self) -> u32 {
+        let head = unsafe { atomic_load(self.cq_khead) };
+        let tail = unsafe { atomic_load(self.cq_ktail) };
+        tail.wrapping_sub(head)
+    }
+
+    fn enter(&mut self, min_complete: u32, timeout: Option<Duration>) -> io::Result<()> {
+        let to_submit = self.to_submit;
+        let ret = if min_complete == 0 && timeout.is_none() {
+            if to_submit == 0 {
+                return Ok(());
+            }
+            unsafe {
+                syscall(
+                    SYS_IO_URING_ENTER,
+                    self.ring_fd,
+                    to_submit,
+                    0u32,
+                    0u32,
+                    std::ptr::null::<u8>(),
+                    0usize,
+                )
+            }
+        } else {
+            match timeout {
+                Some(t) => {
+                    let ts = Timespec {
+                        tv_sec: t.as_secs() as i64,
+                        tv_nsec: t.subsec_nanos() as i64,
+                    };
+                    let arg = GeteventsArg {
+                        sigmask: 0,
+                        sigmask_sz: 0,
+                        pad: 0,
+                        ts: &ts as *const Timespec as u64,
+                    };
+                    unsafe {
+                        syscall(
+                            SYS_IO_URING_ENTER,
+                            self.ring_fd,
+                            to_submit,
+                            min_complete,
+                            IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                            &arg as *const GeteventsArg,
+                            std::mem::size_of::<GeteventsArg>(),
+                        )
+                    }
+                }
+                None => unsafe {
+                    syscall(
+                        SYS_IO_URING_ENTER,
+                        self.ring_fd,
+                        to_submit,
+                        min_complete,
+                        IORING_ENTER_GETEVENTS,
+                        std::ptr::null::<u8>(),
+                        0usize,
+                    )
+                },
+            }
+        };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            match err.raw_os_error() {
+                // Timed out / interrupted: not failures, just no events.
+                Some(e) if e == ETIME || e == EINTR => {
+                    self.to_submit = 0;
+                    Ok(())
+                }
+                _ => Err(err),
+            }
+        } else {
+            self.to_submit = 0;
+            Ok(())
+        }
+    }
+
+    /// Reap everything currently in the CQ into `out`.
+    fn reap(&mut self, out: &mut Vec<Cqe>) {
+        loop {
+            let head = unsafe { atomic_load(self.cq_khead) };
+            let tail = unsafe { atomic_load(self.cq_ktail) };
+            if head == tail {
+                return;
+            }
+            let raw = unsafe { *self.cqes.add((head & self.cq_mask) as usize) };
+            unsafe { atomic_store(self.cq_khead, head.wrapping_add(1)) };
+            let Some(rec) = self.ops.remove(&raw.user_data) else {
+                continue;
+            };
+            match rec {
+                OpRec::Read { token, buf } => {
+                    self.untrack(token, raw.user_data);
+                    let kind = if raw.res < 0 {
+                        CqeKind::ReadDone { buf, n: 0, err: Some(-raw.res) }
+                    } else {
+                        CqeKind::ReadDone { buf, n: raw.res as usize, err: None }
+                    };
+                    out.push(Cqe { token, kind });
+                }
+                OpRec::Write { token, buf } => {
+                    self.untrack(token, raw.user_data);
+                    self.pool.push(buf);
+                    let kind = if raw.res < 0 {
+                        CqeKind::WriteDone { n: 0, err: Some(-raw.res) }
+                    } else {
+                        CqeKind::WriteDone { n: raw.res as usize, err: None }
+                    };
+                    out.push(Cqe { token, kind });
+                }
+                OpRec::Poll { fd } => {
+                    // Single-shot: deliver and re-arm while the fd is
+                    // still registered. A cancelled poll (res < 0) stays
+                    // down.
+                    if let Some(&(token, interest, _)) = self.polls.get(&fd) {
+                        if raw.res >= 0 {
+                            let revents = raw.res as u32;
+                            out.push(Cqe {
+                                token,
+                                kind: CqeKind::Ready {
+                                    readable: revents & POLLIN != 0,
+                                    writable: revents & POLLOUT != 0,
+                                    error: revents & (POLLERR | POLLHUP | POLLRDHUP) != 0,
+                                },
+                            });
+                            self.arm_poll(fd, interest);
+                        }
+                    }
+                }
+                OpRec::Internal => {}
+            }
+        }
+    }
+
+    fn untrack(&mut self, _token: Token, id: u64) {
+        for ids in self.conn_ops.values_mut() {
+            if let Some(pos) = ids.iter().position(|&x| x == id) {
+                ids.swap_remove(pos);
+                break;
+            }
+        }
+    }
+
+    fn take_buf(&mut self) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(READ_BUF, 0);
+        buf
+    }
+}
+
+impl Drop for UringBackend {
+    fn drop(&mut self) {
+        unsafe { close(self.ring_fd) };
+        // Mappings unmap via their own Drop.
+    }
+}
+
+impl Backend for UringBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::IoUring
+    }
+
+    fn register_conn(&mut self, fd: RawFd, token: Token, _interest: Interest) -> io::Result<()> {
+        self.conns.insert(fd, token);
+        self.conn_ops.entry(fd).or_default();
+        Ok(())
+    }
+
+    fn register_poll(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.polls.insert(fd, (token, interest, None));
+        self.arm_poll(fd, interest);
+        Ok(())
+    }
+
+    fn set_interest(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        if let Some(&(_, _, armed)) = self.polls.get(&fd) {
+            self.polls.insert(fd, (token, interest, None));
+            if let Some(id) = armed {
+                self.cancel_op(id);
+            }
+            self.arm_poll(fd, interest);
+        }
+        // Conn fds: interest is op-implied.
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        if self.conns.remove(&fd).is_some() {
+            for id in self.conn_ops.remove(&fd).unwrap_or_default() {
+                self.cancel_op(id);
+            }
+        }
+        if let Some((_, _, Some(id))) = self.polls.remove(&fd) {
+            self.cancel_op(id);
+        }
+        Ok(())
+    }
+
+    fn submit_read(&mut self, fd: RawFd, token: Token) -> Result<(), SubmitError> {
+        let buf = self.take_buf();
+        let id = self.op_id();
+        let addr = buf.as_ptr() as u64;
+        let len = buf.len() as u32;
+        self.ops.insert(id, OpRec::Read { token, buf });
+        let sqe = Sqe {
+            opcode: IORING_OP_READ,
+            fd,
+            addr,
+            len,
+            user_data: id,
+            ..Sqe::default()
+        };
+        if let Err(e) = self.push_sqe(sqe) {
+            if let Some(OpRec::Read { buf, .. }) = self.ops.remove(&id) {
+                self.pool.push(buf);
+            }
+            return Err(e);
+        }
+        self.conn_ops.entry(fd).or_default().push(id);
+        Ok(())
+    }
+
+    fn submit_write(&mut self, fd: RawFd, token: Token, data: &[u8]) -> Result<(), SubmitError> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(data);
+        let id = self.op_id();
+        let addr = buf.as_ptr() as u64;
+        let len = buf.len() as u32;
+        self.ops.insert(id, OpRec::Write { token, buf });
+        let sqe = Sqe {
+            opcode: IORING_OP_WRITE,
+            fd,
+            addr,
+            len,
+            user_data: id,
+            ..Sqe::default()
+        };
+        if let Err(e) = self.push_sqe(sqe) {
+            if let Some(OpRec::Write { buf, .. }) = self.ops.remove(&id) {
+                self.pool.push(buf);
+            }
+            return Err(e);
+        }
+        self.conn_ops.entry(fd).or_default().push(id);
+        Ok(())
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    fn wait(&mut self, out: &mut Vec<Cqe>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = out.len();
+        self.flush_deferred();
+        // Don't block when completions are already waiting; still enter
+        // once to submit anything queued.
+        if self.cq_ready() > 0 {
+            self.enter(0, None)?;
+        } else {
+            self.enter(1, timeout)?;
+        }
+        self.reap(out);
+        Ok(out.len() - before)
+    }
+
+    fn registered(&self) -> usize {
+        self.conns.len() + self.polls.len()
+    }
+}
+
+unsafe fn atomic_load(p: *const u32) -> u32 {
+    (*(p as *const std::sync::atomic::AtomicU32)).load(std::sync::atomic::Ordering::Acquire)
+}
+
+unsafe fn atomic_store(p: *mut u32, v: u32) {
+    (*(p as *const std::sync::atomic::AtomicU32)).store(v, std::sync::atomic::Ordering::Release)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    /// Every test is gated on the probe: refusing kernels skip, not fail.
+    macro_rules! ring_or_skip {
+        () => {
+            match UringBackend::probe() {
+                Some(b) => b,
+                None => {
+                    eprintln!("io_uring unavailable on this kernel: skipping");
+                    return;
+                }
+            }
+        };
+    }
+
+    #[test]
+    fn probe_is_consistent() {
+        // Two probes agree — availability is a property of the kernel,
+        // not of probe-order luck.
+        assert_eq!(UringBackend::probe().is_some(), UringBackend::probe().is_some());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut b = ring_or_skip!();
+        let (server_side, mut client) = pair();
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(7), Interest::BOTH).unwrap();
+        b.submit_read(fd, Token(7)).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            if !got.is_empty() {
+                break;
+            }
+            b.wait(&mut got, Some(Duration::from_millis(50))).unwrap();
+        }
+        let Some(Cqe { token, kind: CqeKind::ReadDone { buf, n, err: None } }) = got.pop() else {
+            panic!("expected a clean ReadDone: {got:?}");
+        };
+        assert_eq!(token, Token(7));
+        assert_eq!(&buf[..n], b"ping");
+        b.recycle(buf);
+
+        b.submit_write(fd, Token(7), b"pong").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            if !got.is_empty() {
+                break;
+            }
+            b.wait(&mut got, Some(Duration::from_millis(50))).unwrap();
+        }
+        assert!(
+            matches!(got.pop(), Some(Cqe { kind: CqeKind::WriteDone { n: 4, err: None }, .. })),
+            "expected WriteDone n=4"
+        );
+        let mut echo = [0u8; 4];
+        std::io::Read::read_exact(&mut client, &mut echo).unwrap();
+        assert_eq!(&echo, b"pong");
+    }
+
+    #[test]
+    fn write_backpressure_completes_on_drain() {
+        // A nonblocking socket with a jammed send buffer: the WRITE op must
+        // eventually complete (possibly short, possibly after EAGAIN
+        // completions the caller resubmits) once the peer drains — the
+        // backend half of the write-stall "slides only on progress" story.
+        let mut b = ring_or_skip!();
+        let (server_side, mut client) = pair();
+        server_side.set_nonblocking(true).unwrap();
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(3), Interest::BOTH).unwrap();
+
+        const TOTAL: usize = 512 * 1024;
+        let payload: Vec<u8> = (0..TOTAL).map(|i| (i % 251) as u8).collect();
+        let mut submitted = 0usize; // cursor into payload
+        let mut acked = 0usize; // bytes confirmed by WriteDone
+        let mut eagains = 0usize;
+        let mut inflight = false;
+
+        // Reader thread: drain slowly so the send side jams repeatedly.
+        let reader = std::thread::spawn(move || {
+            use std::io::Read;
+            let mut got = Vec::new();
+            let mut chunk = [0u8; 8 * 1024];
+            client
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            while got.len() < TOTAL {
+                match client.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        got.extend_from_slice(&chunk[..n]);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => panic!("reader: {e}"),
+                }
+            }
+            got
+        });
+
+        let t0 = std::time::Instant::now();
+        let mut got = Vec::new();
+        while acked < TOTAL {
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "write stalled: acked {acked}/{TOTAL}, {eagains} EAGAINs"
+            );
+            if !inflight {
+                let end = (submitted + 32 * 1024).min(TOTAL);
+                b.submit_write(fd, Token(3), &payload[submitted..end]).unwrap();
+                inflight = true;
+            }
+            got.clear();
+            b.wait(&mut got, Some(Duration::from_millis(100))).unwrap();
+            for cqe in got.drain(..) {
+                match cqe.kind {
+                    CqeKind::WriteDone { err: Some(e), .. } if e == crate::backend::EAGAIN => {
+                        eagains += 1;
+                        inflight = false;
+                    }
+                    CqeKind::WriteDone { n, err: None } => {
+                        submitted += n;
+                        acked += n;
+                        inflight = false;
+                    }
+                    CqeKind::WriteDone { err: Some(e), .. } => panic!("write errno {e}"),
+                    other => panic!("unexpected completion {other:?}"),
+                }
+            }
+        }
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), TOTAL);
+        assert_eq!(got, payload, "byte stream corrupted under backpressure");
+        eprintln!(
+            "backpressure: {TOTAL} bytes in {:?}, {eagains} EAGAIN completions",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn poll_add_delivers_and_rearms() {
+        let mut b = ring_or_skip!();
+        let (server_side, mut client) = pair();
+        let fd = server_side.as_raw_fd();
+        b.register_poll(fd, Token(42), Interest::READABLE).unwrap();
+        for round in 0..2 {
+            client.write_all(b"x").unwrap();
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                if !got.is_empty() {
+                    break;
+                }
+                b.wait(&mut got, Some(Duration::from_millis(50))).unwrap();
+            }
+            assert!(
+                matches!(
+                    got.first(),
+                    Some(Cqe { token: Token(42), kind: CqeKind::Ready { readable: true, .. } })
+                ),
+                "round {round}: {got:?}"
+            );
+            // Drain so the re-armed poll reports fresh data only.
+            let mut sink = [0u8; 8];
+            use std::io::Read;
+            let _ = (&server_side).read(&mut sink).unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_times_out_without_events() {
+        let mut b = ring_or_skip!();
+        let (server_side, _client) = pair();
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(1), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(1)).unwrap();
+        let mut got = Vec::new();
+        let t0 = std::time::Instant::now();
+        let n = b.wait(&mut got, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0, "silent socket: no completions, got {got:?}");
+        assert!(t0.elapsed() >= Duration::from_millis(20), "enter returned too early");
+    }
+
+    #[test]
+    fn deregister_cancels_and_completions_token_miss() {
+        let mut b = ring_or_skip!();
+        let (server_side, _client) = pair();
+        let fd = server_side.as_raw_fd();
+        b.register_conn(fd, Token(5), Interest::READABLE).unwrap();
+        b.submit_read(fd, Token(5)).unwrap();
+        b.deregister(fd).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            if !got.is_empty() {
+                break;
+            }
+            b.wait(&mut got, Some(Duration::from_millis(50))).unwrap();
+        }
+        match got.pop() {
+            Some(Cqe { token: Token(5), kind: CqeKind::ReadDone { buf, n: 0, err: Some(_) } }) => {
+                b.recycle(buf);
+            }
+            other => panic!("expected an errno'd ReadDone for the cancelled op: {other:?}"),
+        }
+        assert_eq!(b.registered(), 0);
+    }
+}

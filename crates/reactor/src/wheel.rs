@@ -333,6 +333,82 @@ mod tests {
         }
     }
 
+    /// The lazy-cancellation idiom every live server builds on this wheel
+    /// (see nioserver's write-stall deadline): a *slide* re-arms by
+    /// scheduling a fresh `(key, generation+1)` entry and leaving the stale
+    /// one in place; the harvest drops pops whose generation no longer
+    /// matches. Progress before the old deadline must therefore never fire
+    /// the timeout — only the slid deadline can.
+    #[test]
+    fn generation_rearm_slides_expiry_only_forward() {
+        let mut w: DeadlineWheel<(u32, u64)> = DeadlineWheel::with_resolution(10);
+        let conn = 7u32;
+        let mut gen = 0u64;
+        // Armed at t=1_000; progress at t=400 slides it to t=1_400, then
+        // progress at t=900 slides it to t=1_900.
+        w.schedule(1_000, (conn, gen));
+        for slide_to in [1_400u64, 1_900] {
+            gen += 1;
+            w.schedule(slide_to, (conn, gen));
+        }
+        let mut fired = Vec::new();
+        for now in [999u64, 1_000, 1_399, 1_400, 1_899, 1_900] {
+            while let Some((at, (id, g))) = w.pop_due(now) {
+                assert_eq!(id, conn);
+                if g == gen {
+                    fired.push((now, at));
+                } // else: stale generation, dropped — the lazy cancel
+            }
+        }
+        // Both superseded deadlines popped silently; the connection timed
+        // out exactly once, at the final slid deadline.
+        assert_eq!(fired, vec![(1_900, 1_900)]);
+        assert!(w.is_empty());
+    }
+
+    /// A slide storm (one entry per progress event, as a busy connection
+    /// produces) leaves the wheel consistent: `len` counts every armed
+    /// entry including stale ones, all of them pop by the final deadline,
+    /// and exactly one carries the live generation.
+    #[test]
+    fn rearm_storm_drains_completely_with_one_live_entry() {
+        let mut w: DeadlineWheel<u64> = DeadlineWheel::with_resolution(50);
+        let slides = 500u64;
+        for g in 0..=slides {
+            // Each slide pushes the deadline further out, crossing slot and
+            // level boundaries along the way.
+            w.schedule(1_000 + g * 777, g);
+        }
+        assert_eq!(w.len(), slides as usize + 1);
+        let mut live_pops = 0;
+        let mut last_at = 0;
+        while let Some((at, g)) = w.pop_due(u64::MAX / 2) {
+            assert!(at >= last_at, "expiry order must be monotone");
+            last_at = at;
+            if g == slides {
+                live_pops += 1;
+                assert_eq!(at, 1_000 + slides * 777);
+            }
+        }
+        assert_eq!(live_pops, 1, "exactly one live-generation expiry");
+        assert!(w.is_empty());
+    }
+
+    /// `peek_next` (which sizes the worker's select timeout) sees stale
+    /// entries too — waking early for a superseded deadline is harmless
+    /// (the pop is dropped), but waking *late* for a live one would stall
+    /// the timeout path, so the peek must never exceed the earliest armed
+    /// entry, stale or not.
+    #[test]
+    fn peek_next_is_conservative_across_rearms() {
+        let mut w: DeadlineWheel<(u8, u64)> = DeadlineWheel::with_resolution(10);
+        w.schedule(500, (1, 0));
+        w.schedule(900, (1, 1)); // slide
+        assert_eq!(w.peek_next(), Some(500), "stale entry still bounds the wait");
+        assert_eq!(w.pop_due(600), Some((500, (1, 0)))); // dropped by caller
+        assert_eq!(w.peek_next(), Some(900), "live entry remains");
+    }
+
     #[test]
     fn empty_wheel() {
         let mut w: DeadlineWheel<u8> = DeadlineWheel::new();

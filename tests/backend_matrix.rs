@@ -1,0 +1,44 @@
+//! Cross-backend corpus replay: every persisted sequence under
+//! `tests/corpus/*.seq` must produce the oracle-predicted outcome with the
+//! nio legs running on every *available* reactor backend — not just the
+//! epoll default that `conformance_corpus.rs` pins.
+//!
+//! mock-completion always runs (it needs nothing from the kernel — that is
+//! its whole point as the tier-1 stand-in for completion semantics);
+//! io_uring runs when the runtime probe gets a ring and silently skips
+//! when the kernel refuses (ENOSYS, sysctl-disabled), so this test is
+//! green on any host. Epoll itself is covered by `conformance_corpus.rs` —
+//! repeating it here would double CI time for zero new coverage.
+//!
+//! The full backend × accept-mode matrix at generated-sweep scale lives in
+//! `repro conformance` (one sweep per backend); this replay keeps the
+//! named repros pinned per backend in tier-1.
+
+use experiments::{corpus_entries, BackendKind, ConformanceRig};
+
+fn completion_backends() -> Vec<BackendKind> {
+    let mut v = vec![BackendKind::MockCompletion];
+    if experiments::io_uring_available() {
+        v.push(BackendKind::IoUring);
+    }
+    v
+}
+
+#[test]
+fn corpus_replays_identically_on_every_backend() {
+    let mut failures = Vec::new();
+    for backend in completion_backends() {
+        let rig = ConformanceRig::start_with(backend);
+        for (name, seq) in corpus_entries() {
+            for (leg, detail) in rig.diff_sequence(&seq) {
+                failures.push(format!("[{}] {name} vs {leg}: {detail}", backend.label()));
+            }
+        }
+        rig.shutdown();
+    }
+    assert!(
+        failures.is_empty(),
+        "cross-backend corpus divergence:\n{}",
+        failures.join("\n")
+    );
+}

@@ -264,10 +264,14 @@ fn statuses(data: &[u8]) -> Vec<u16> {
     out
 }
 
-fn start_nio(accept: nioserver::AcceptMode, content: &Arc<ContentStore>) -> nioserver::NioServer {
+fn start_nio(
+    accept: nioserver::AcceptMode,
+    backend: nioserver::BackendKind,
+    content: &Arc<ContentStore>,
+) -> nioserver::NioServer {
     nioserver::NioServer::start(nioserver::NioConfig {
         workers: 2,
-        selector: nioserver::SelectorKind::Epoll,
+        backend,
         accept,
         shed_watermark: None,
         lifecycle: policy(),
@@ -276,13 +280,28 @@ fn start_nio(accept: nioserver::AcceptMode, content: &Arc<ContentStore>) -> nios
     .expect("start nio server")
 }
 
+/// Every reactor backend this host can run: epoll and the deterministic
+/// completion mock always, io_uring when the kernel grants a ring.
+fn available_backends() -> Vec<nioserver::BackendKind> {
+    let mut v = vec![
+        nioserver::BackendKind::Epoll,
+        nioserver::BackendKind::MockCompletion,
+    ];
+    if nioserver::io_uring_available() {
+        v.push(nioserver::BackendKind::IoUring);
+    }
+    v
+}
+
 #[test]
 fn all_accept_modes_and_architectures_answer_identical_bytes() {
+    // The full backend × accept-mode matrix against one fixed reference:
+    // poolserver has no reactor at all, so its stream anchors the
+    // comparison — every (backend, accept) nio variant must answer the
+    // same bytes a thread-per-connection server does, modulo Date.
     let fs = files();
     let content = Arc::new(ContentStore::from_fileset(&fs));
 
-    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
-    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 4,
         lifecycle: policy(),
@@ -291,49 +310,58 @@ fn all_accept_modes_and_architectures_answer_identical_bytes() {
     })
     .expect("start pool server");
 
-    for script in scripts() {
-        let raw_handoff = replay(handoff.addr(), &script);
-        let raw_sharded = replay(sharded.addr(), &script);
-        let raw_pool = replay(pool.addr(), &script);
-
-        // The scenario must actually exercise its path: expected status
-        // codes, in order, on every server.
-        for (who, raw) in [
-            ("nio-handoff", &raw_handoff),
-            ("nio-sharded", &raw_sharded),
-            ("poolserver", &raw_pool),
-        ] {
-            assert!(
-                !raw.is_empty(),
-                "{}/{who}: empty response stream",
-                script.name
-            );
+    // One reference stream per script, shared by the whole matrix.
+    let reference: Vec<(Script, Vec<u8>)> = scripts()
+        .into_iter()
+        .map(|script| {
+            let raw = replay(pool.addr(), &script);
+            assert!(!raw.is_empty(), "{}/poolserver: empty stream", script.name);
             assert_eq!(
-                statuses(raw),
+                statuses(&raw),
                 script.expect,
-                "{}/{who}: status sequence mismatch",
+                "{}/poolserver: status sequence mismatch",
                 script.name
             );
-        }
+            let norm = normalize(&raw);
+            (script, norm)
+        })
+        .collect();
 
-        // And the streams must agree byte-for-byte modulo Date.
-        let n_handoff = normalize(&raw_handoff);
-        let n_sharded = normalize(&raw_sharded);
-        let n_pool = normalize(&raw_pool);
-        assert_eq!(
-            n_handoff, n_sharded,
-            "{}: handoff vs sharded nio diverge on the wire",
-            script.name
-        );
-        assert_eq!(
-            n_handoff, n_pool,
-            "{}: nio vs poolserver diverge on the wire",
-            script.name
-        );
+    for backend in available_backends() {
+        let handoff = start_nio(nioserver::AcceptMode::Handoff, backend, &content);
+        let sharded = start_nio(nioserver::AcceptMode::Sharded, backend, &content);
+        for (script, reference) in &reference {
+            for (who, addr) in [
+                ("nio-handoff", handoff.addr()),
+                ("nio-sharded", sharded.addr()),
+            ] {
+                let raw = replay(addr, script);
+                assert!(
+                    !raw.is_empty(),
+                    "{}/{who}[{}]: empty response stream",
+                    script.name,
+                    backend.label()
+                );
+                assert_eq!(
+                    statuses(&raw),
+                    script.expect,
+                    "{}/{who}[{}]: status sequence mismatch",
+                    script.name,
+                    backend.label()
+                );
+                assert_eq!(
+                    &normalize(&raw),
+                    reference,
+                    "{}/{who}[{}]: diverged from poolserver on the wire",
+                    script.name,
+                    backend.label()
+                );
+            }
+        }
+        handoff.shutdown();
+        sharded.shutdown();
     }
 
-    handoff.shutdown();
-    sharded.shutdown();
     pool.shutdown();
 }
 
@@ -427,8 +455,8 @@ fn balancer_front_with_one_backend_is_wire_invisible() {
     let fs = files();
     let content = Arc::new(ContentStore::from_fileset(&fs));
 
-    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
-    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, nioserver::BackendKind::Epoll, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, nioserver::BackendKind::Epoll, &content);
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 4,
         lifecycle: policy(),
@@ -486,8 +514,8 @@ fn slot_reuse_churn_is_wire_equivalent_across_accept_modes() {
     // no aliased teardown, and byte-identical streams on both accept modes.
     let fs = files();
     let content = Arc::new(ContentStore::from_fileset(&fs));
-    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
-    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, nioserver::BackendKind::Epoll, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, nioserver::BackendKind::Epoll, &content);
 
     fn churn_script(i: usize) -> Script {
         Script {
@@ -549,7 +577,7 @@ fn sharded_mode_is_wire_equivalent_across_many_connections() {
     // identity must never leak into the bytes.
     let fs = files();
     let content = Arc::new(ContentStore::from_fileset(&fs));
-    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, nioserver::BackendKind::Epoll, &content);
     let script = Script {
         name: "per_shard_burst",
         steps: vec![Step::Send(concat_requests(&[
@@ -607,8 +635,8 @@ fn rst_after_partial_head_is_absorbed_identically() {
     // abort never happened, on every server, byte-identically.
     let fs = files();
     let content = Arc::new(ContentStore::from_fileset(&fs));
-    let handoff = start_nio(nioserver::AcceptMode::Handoff, &content);
-    let sharded = start_nio(nioserver::AcceptMode::Sharded, &content);
+    let handoff = start_nio(nioserver::AcceptMode::Handoff, nioserver::BackendKind::Epoll, &content);
+    let sharded = start_nio(nioserver::AcceptMode::Sharded, nioserver::BackendKind::Epoll, &content);
     let pool = poolserver::PoolServer::start(poolserver::PoolConfig {
         pool_size: 4,
         lifecycle: policy(),
